@@ -1,0 +1,121 @@
+"""Ablations — assignment criterion, convergence δ, and K estimation.
+
+Covers the design choices DESIGN.md calls out:
+
+* criterion "g" (greedy on the clustering index) vs the literal "avg"
+  reading of Section 4.3 step 1(b);
+* sensitivity to the convergence threshold δ;
+* a K sweep (the paper's future work: "a method to estimate the
+  appropriate K value") scored by F1 and by the clustering index.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import evaluate_clustering
+from repro.experiments import render_table
+from repro.experiments.experiment2 import run_window
+
+
+@pytest.fixture(scope="module")
+def window4(windows):
+    return windows[3]
+
+
+def bench_ablation_criterion(benchmark, window4, reporter):
+    """ΔG vs Δavg_sim assignment criterion on window 4, β=7."""
+    def run(criterion):
+        from repro import CorpusStatistics, ForgettingModel, NoveltyKMeans
+
+        model = ForgettingModel(half_life=7.0, life_span=30.0)
+        stats = CorpusStatistics.from_scratch(
+            model, window4.documents, at_time=window4.end
+        )
+        kmeans = NoveltyKMeans(k=24, seed=3, criterion=criterion)
+        result = kmeans.fit(stats.documents(), stats)
+        truth = {d.doc_id: d.topic_id for d in window4.documents}
+        return result, evaluate_clustering(result.clusters, truth)
+
+    g_result, g_eval = benchmark.pedantic(
+        run, args=("g",), rounds=1, iterations=1
+    )
+    avg_result, avg_eval = run("avg")
+    table = render_table(
+        ["criterion", "clustered", "outliers", "micro F1", "macro F1"],
+        [
+            ["g (Δ of |C|·avg_sim, default)", g_result.n_documents,
+             len(g_result.outliers), f"{g_eval.micro_f1:.2f}",
+             f"{g_eval.macro_f1:.2f}"],
+            ["avg (literal Δavg_sim)", avg_result.n_documents,
+             len(avg_result.outliers), f"{avg_eval.micro_f1:.2f}",
+             f"{avg_eval.macro_f1:.2f}"],
+        ],
+        title="Ablation — assignment criterion (window 4, β=7, K=24)",
+    )
+    reporter.add("ablation_criterion", table)
+    assert len(avg_result.outliers) >= len(g_result.outliers)
+
+
+def bench_ablation_delta(benchmark, window4, reporter):
+    """Convergence threshold sweep: iterations and F1 vs δ."""
+    def run(delta):
+        result, evaluation = run_window(
+            window4.documents, at_time=window4.end, beta=7.0,
+            delta=delta, max_iterations=60,
+        )
+        return result.iterations, evaluation.micro_f1
+
+    deltas = (0.10, 0.05, 0.01, 0.001)
+    rows = []
+    for delta in deltas:
+        iterations, micro_f1 = (
+            benchmark.pedantic(run, args=(delta,), rounds=1, iterations=1)
+            if delta == 0.01 else run(delta)
+        )
+        rows.append([f"{delta:g}", iterations, f"{micro_f1:.2f}"])
+    table = render_table(
+        ["delta", "iterations", "micro F1"],
+        rows,
+        title="Ablation — convergence threshold δ (window 4, β=7, K=24)",
+    )
+    reporter.add("ablation_delta", table)
+    iteration_counts = [int(row[1]) for row in rows]
+    assert iteration_counts[0] <= iteration_counts[-1]
+
+
+def bench_ablation_k_sweep(benchmark, window4, reporter):
+    """K sweep — the paper's future-work question on choosing K."""
+    def run(k):
+        result, evaluation = run_window(
+            window4.documents, at_time=window4.end, beta=7.0, k=k,
+        )
+        return result, evaluation
+
+    rows = []
+    best_k, best_f1 = None, -1.0
+    for k in (8, 16, 24, 32, 48):
+        result, evaluation = (
+            benchmark.pedantic(run, args=(k,), rounds=1, iterations=1)
+            if k == 24 else run(k)
+        )
+        if evaluation.micro_f1 > best_f1:
+            best_k, best_f1 = k, evaluation.micro_f1
+        rows.append([
+            k,
+            result.n_documents,
+            len(result.outliers),
+            f"{result.clustering_index:.3e}",
+            evaluation.n_marked,
+            f"{evaluation.micro_f1:.2f}",
+            f"{evaluation.macro_f1:.2f}",
+        ])
+    table = render_table(
+        ["K", "clustered", "outliers", "G", "marked", "micro F1",
+         "macro F1"],
+        rows,
+        title="Ablation — K sweep (window 4, β=7); paper used K=24",
+    )
+    table += f"\nbest micro F1 at K={best_k}"
+    reporter.add("ablation_k_sweep", table)
+    assert best_f1 > 0.2

@@ -1,0 +1,130 @@
+"""Baseline comparison — the novelty method vs the related work.
+
+The paper positions its method against classic K-means (Section 4.1),
+Yang et al.'s INCR and GAC (Section 2.2) and its own predecessor F²ICM.
+This bench runs all five on the same window and scores each with the
+paper's evaluation protocol, plus a *recency-weighted* F1 (contingency
+cells weighted by the document forgetting weight at the window end) that
+rewards exactly what the novelty method optimises for.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    CorpusStatistics,
+    ForgettingModel,
+    NoveltyKMeans,
+    evaluate_clustering,
+    normalized_mutual_information,
+    purity,
+    recency_weighted_micro_f1,
+)
+from repro.baselines import (
+    ClassicKMeans,
+    F2ICMClusterer,
+    GACClusterer,
+    INCRClusterer,
+)
+from repro.experiments import render_table
+
+
+@pytest.fixture(scope="module")
+def window4(windows):
+    return windows[3]
+
+
+@pytest.fixture(scope="module")
+def window4_stats(window4):
+    model = ForgettingModel(half_life=7.0, life_span=30.0)
+    return model, CorpusStatistics.from_scratch(
+        model, window4.documents, at_time=window4.end
+    )
+
+
+def _score(name, clusters, window, model):
+    truth = {d.doc_id: d.topic_id for d in window.documents}
+    evaluation = evaluate_clustering(clusters, truth)
+    rw = recency_weighted_micro_f1(
+        clusters, window.documents, model, window.end
+    )
+    return [
+        name,
+        sum(1 for c in clusters if c),
+        evaluation.n_marked,
+        f"{evaluation.micro_f1:.2f}",
+        f"{evaluation.macro_f1:.2f}",
+        f"{purity(clusters, truth):.2f}",
+        f"{normalized_mutual_information(clusters, truth):.2f}",
+        f"{rw:.2f}",
+    ]
+
+
+def bench_baseline_comparison(benchmark, window4, window4_stats, reporter):
+    model, stats = window4_stats
+    docs = window4.documents
+
+    def run_novelty():
+        kmeans = NoveltyKMeans(k=24, seed=3)
+        return kmeans.fit(stats.documents(), stats)
+
+    novelty = benchmark.pedantic(run_novelty, rounds=1, iterations=1)
+    classic = ClassicKMeans(k=24, seed=3).fit(docs)
+    incr = INCRClusterer(threshold=0.25, window_size=600).fit(docs)
+    gac = GACClusterer(target_clusters=24, bucket_size=120).fit(docs)
+    f2icm = F2ICMClusterer(k=24).fit(stats.documents(), stats)
+
+    rows = [
+        _score("novelty K-means (paper)", novelty.clusters, window4, model),
+        _score("classic K-means", classic.clusters, window4, model),
+        _score("INCR (Yang et al.)", incr.clusters, window4, model),
+        _score("GAC (Yang et al.)", gac.clusters, window4, model),
+        _score("F2ICM (predecessor)", f2icm.clusters, window4, model),
+    ]
+    table = render_table(
+        ["method", "clusters", "marked", "micro F1", "macro F1",
+         "purity", "NMI", "recency-weighted F1"],
+        rows,
+        title="Baseline comparison — window 4 (Apr4-May3 analogue), "
+              "K/target=24, β=7 where applicable",
+    )
+    reporter.add("baseline_comparison", table)
+
+    novelty_rw = float(rows[0][7])
+    classic_rw = float(rows[1][7])
+    # the novelty method must be competitive on its own objective
+    assert novelty_rw >= classic_rw - 0.25
+
+
+def bench_baseline_classic_kmeans(benchmark, window4):
+    benchmark.pedantic(
+        lambda: ClassicKMeans(k=24, seed=3).fit(window4.documents),
+        rounds=2, iterations=1,
+    )
+
+
+def bench_baseline_incr(benchmark, window4):
+    benchmark.pedantic(
+        lambda: INCRClusterer(threshold=0.25, window_size=600).fit(
+            window4.documents
+        ),
+        rounds=2, iterations=1,
+    )
+
+
+def bench_baseline_gac(benchmark, window4):
+    benchmark.pedantic(
+        lambda: GACClusterer(target_clusters=24, bucket_size=120).fit(
+            window4.documents
+        ),
+        rounds=1, iterations=1,
+    )
+
+
+def bench_baseline_f2icm(benchmark, window4, window4_stats):
+    _, stats = window4_stats
+    benchmark.pedantic(
+        lambda: F2ICMClusterer(k=24).fit(stats.documents(), stats),
+        rounds=2, iterations=1,
+    )

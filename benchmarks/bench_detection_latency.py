@@ -1,0 +1,82 @@
+"""Detection latency — how fast the on-line monitor surfaces new topics.
+
+The paper's goal is timeliness ("what are recent topics?") but its
+evaluation is per-window F1, which is timing-blind. This bench runs the
+full on-line pipeline (weekly batches over the whole six-month stream)
+under β=7 and β=30 and measures, per topic, the delay between first
+document and first marked-cluster detection. Expected direction: the
+short half-life detects *more* topics *sooner* — its clusters track the
+front of the stream — at the F1 cost Table 4 documents.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    DetectionRecorder,
+    ForgettingModel,
+    IncrementalClusterer,
+    first_arrivals,
+    iter_batches,
+)
+from repro.experiments import render_table
+
+
+def _run(documents, truth, arrivals, beta):
+    clusterer = IncrementalClusterer(
+        ForgettingModel(half_life=beta, life_span=30.0), k=24, seed=7
+    )
+    recorder = DetectionRecorder(truth)
+    for at_time, batch in iter_batches(documents, 7.0, origin=0.0):
+        result = clusterer.process_batch(batch, at_time=at_time)
+        recorder.observe(result.clusters, at_time)
+    return recorder.report(arrivals)
+
+
+def bench_detection_latency(benchmark, repository, reporter):
+    documents = repository.documents()
+    truth = {d.doc_id: d.topic_id for d in documents}
+    # evaluate topics big enough to plausibly form a marked cluster
+    sizes = {}
+    for doc in documents:
+        sizes[doc.topic_id] = sizes.get(doc.topic_id, 0) + 1
+    arrivals = {
+        topic: arrival
+        for topic, arrival in first_arrivals(documents).items()
+        if sizes[topic] >= 10
+    }
+
+    report_short = benchmark.pedantic(
+        _run, args=(documents, truth, arrivals, 7.0),
+        rounds=1, iterations=1,
+    )
+    report_long = _run(documents, truth, arrivals, 30.0)
+
+    rows = []
+    for name, report in (("β=7", report_short), ("β=30", report_long)):
+        rows.append([
+            name,
+            f"{report.detected_fraction:.0%}",
+            f"{report.mean_latency:.1f} d" if report.mean_latency
+            is not None else "--",
+            f"{report.median_latency:.1f} d" if report.median_latency
+            is not None else "--",
+        ])
+    table = render_table(
+        ["half-life", "topics detected", "mean latency",
+         "median latency"],
+        rows,
+        title=f"Detection latency — weekly on-line monitoring, "
+              f"{len(arrivals)} topics with >= 10 docs (K=24, γ=30)",
+    )
+    reporter.add("detection_latency", table)
+
+    assert report_short.detected_fraction > 0.3
+    # timeliness direction: the short half-life is not slower
+    if (report_short.mean_latency is not None
+            and report_long.mean_latency is not None):
+        assert (
+            report_short.mean_latency
+            <= report_long.mean_latency + 3.0
+        )

@@ -1,0 +1,43 @@
+"""Figures 1-4 — per-cluster precision/recall for windows 1 and 4.
+
+Paper: bar charts of precision and recall per marked cluster for the
+Jan4-Feb2 (first) and Apr4-May3 (fourth) windows, at β=7 and β=30.
+The qualitative content: clusters are mostly high-precision (marking
+requires ≥0.6); β=30 marks more/larger clusters; big topics split
+across several clusters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import precision_recall_chart
+from repro.experiments.experiment2 import run_window
+
+FIGURES = {
+    "fig1": (0, 7.0, "Figure 1 — Jan4-Feb2, β=7"),
+    "fig2": (0, 30.0, "Figure 2 — Jan4-Feb2, β=30"),
+    "fig3": (3, 7.0, "Figure 3 — Apr4-May3, β=7"),
+    "fig4": (3, 30.0, "Figure 4 — Apr4-May3, β=30"),
+}
+
+
+@pytest.mark.parametrize("name", sorted(FIGURES))
+def bench_fig_precision_recall(benchmark, windows, reporter, name):
+    window_index, beta, title = FIGURES[name]
+    window = windows[window_index]
+
+    def run():
+        return run_window(window.documents, at_time=window.end, beta=beta)
+
+    result, evaluation = benchmark.pedantic(run, rounds=1, iterations=1)
+    chart = title + "\n" + precision_recall_chart(evaluation)
+    reporter.add(name + "_precision_recall", chart)
+
+    marked = evaluation.marked
+    assert marked, "at least one cluster must be marked"
+    # marking forces precision >= 0.6 by construction
+    assert all(cluster.precision >= 0.6 for cluster in marked)
+    # the windows contain dominant topics, so some cluster must show
+    # high recall as in the paper's figures
+    assert max(cluster.recall for cluster in marked) > 0.5

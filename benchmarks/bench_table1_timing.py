@@ -1,0 +1,72 @@
+"""Table 1 — computation time of incremental vs non-incremental (Exp. 1).
+
+Paper: TDT2 Jan 4-18 (4,327 docs), K=32, β=7 d, γ=14 d.
+  Non-incremental: statistics 25min21s, clustering 58min17s.
+  Incremental (last day only): statistics 1min45s, clustering 15min25s.
+
+Here: the synthetic analogue, fattened with unlabeled documents to the
+paper's stream density. Absolute times reflect this machine; the
+reproduction target is the *ratio* (incremental wins both phases).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CorpusStatistics, ForgettingModel
+from repro.corpus.synthetic import SyntheticCorpusConfig, TDT2Generator
+from repro.experiments import ExperimentOneConfig, run_experiment1
+
+
+def _experiment_config() -> ExperimentOneConfig:
+    # ~4.3k docs over the 15-day span, matching the paper's density
+    return ExperimentOneConfig(seed=1998, unlabeled_per_day=215.0)
+
+
+@pytest.fixture(scope="module")
+def exp1_corpus():
+    config = _experiment_config()
+    repo = TDT2Generator(config.corpus_config()).generate()
+    docs = [d for d in repo.documents() if d.timestamp < config.days]
+    docs.sort(key=lambda d: d.timestamp)
+    return config, docs
+
+
+def bench_table1_full_experiment(benchmark, reporter):
+    """Run the complete Experiment 1 and report the Table 1 analogue."""
+    result = benchmark.pedantic(
+        run_experiment1, args=(_experiment_config(),), rounds=1, iterations=1
+    )
+    reporter.add("table1_timing", result.render())
+    assert result.speedup("statistics") > 1.0
+    assert result.speedup("clustering") > 1.0
+
+
+def bench_table1_statistics_non_incremental(benchmark, exp1_corpus):
+    """Phase timing: statistics rebuilt from scratch over 15 days."""
+    config, docs = exp1_corpus
+    model = ForgettingModel(config.half_life, config.life_span)
+    benchmark(
+        CorpusStatistics.from_scratch, model, docs,
+        float(config.days),
+    )
+
+
+def bench_table1_statistics_incremental(benchmark, exp1_corpus):
+    """Phase timing: statistics updated with the last day only."""
+    config, docs = exp1_corpus
+    model = ForgettingModel(config.half_life, config.life_span)
+    last_day = config.days - 1
+    old = [d for d in docs if d.timestamp < last_day]
+    new = [d for d in docs if d.timestamp >= last_day]
+
+    def setup():
+        stats = CorpusStatistics(model)
+        stats.observe(old, at_time=float(last_day))
+        return (stats,), {}
+
+    def update(stats):
+        stats.observe(new, at_time=float(config.days))
+        stats.expire()
+
+    benchmark.pedantic(update, setup=setup, rounds=8, iterations=1)

@@ -1,0 +1,59 @@
+"""Table 2 — time-window statistics of the selected TDT2 subset.
+
+Paper (7,578 docs, 96 topics, six ~30-day windows):
+  docs   1820 2393  823  570 1090  882
+  topics   30   44   47   39   40   43
+
+The generator is calibrated against those marginals; this bench reports
+measured-vs-paper side by side and benchmarks corpus generation.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.synthetic import (
+    SyntheticCorpusConfig,
+    TABLE2_WINDOW_DOCS,
+    TABLE2_WINDOW_TOPICS,
+    TDT2Generator,
+)
+from repro.experiments import render_table
+
+
+def bench_table2_window_statistics(benchmark, windows, reporter):
+    """Regenerate Table 2 and check the per-window totals track paper."""
+    stats = benchmark(lambda: [w.statistics() for w in windows])
+    rows = []
+    for window, s in zip(windows, stats):
+        paper_docs = TABLE2_WINDOW_DOCS[window.index]
+        paper_topics = TABLE2_WINDOW_TOPICS[window.index]
+        rows.append([
+            f"W{window.index + 1}",
+            s["documents"], paper_docs,
+            s["topics"], paper_topics,
+            s["min_topic_size"],
+            s["max_topic_size"],
+            f"{s['median_topic_size']:.1f}",
+            f"{s['mean_topic_size']:.2f}",
+        ])
+    table = render_table(
+        ["window", "docs", "docs(paper)", "topics", "topics(paper)",
+         "min", "max", "median", "mean"],
+        rows,
+        title="Table 2 — time-window statistics, measured vs paper",
+    )
+    reporter.add("table2_windows", table)
+    for window in windows:
+        measured = len(window)
+        paper = TABLE2_WINDOW_DOCS[window.index]
+        assert abs(measured - paper) / paper < 0.25
+
+
+def bench_table2_corpus_generation(benchmark):
+    """Cost of generating the full 7,578-document synthetic stream."""
+    config = SyntheticCorpusConfig(seed=7)
+
+    def generate():
+        return TDT2Generator(config).generate().size
+
+    size = benchmark.pedantic(generate, rounds=2, iterations=1)
+    assert size == config.total_documents

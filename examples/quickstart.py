@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Quickstart: novelty-based incremental clustering on a toy news feed.
+
+Builds a two-week stream of three drifting topics, feeds it day by day
+to the incremental clusterer, and prints the evolving cluster map —
+everything the library needs from you is raw text plus timestamps.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro import (
+    DocumentRepository,
+    ForgettingModel,
+    IncrementalClusterer,
+    evaluate_clustering,
+)
+
+TOPICS = {
+    "markets": "stocks market shares investors trading rally selloff "
+               "earnings forecast exchange",
+    "eclipse": "eclipse solar astronomers telescope viewers shadow "
+               "moon corona observation sky",
+    "election": "election campaign candidate ballot polls debate "
+                "turnout primary voters runoff",
+}
+
+
+def build_feed(days=14, seed=11):
+    """A DocumentRepository holding the whole simulated feed."""
+    rng = random.Random(seed)
+    repo = DocumentRepository()
+    serial = 0
+    for day in range(days):
+        for topic, vocabulary in TOPICS.items():
+            # the eclipse story only runs in the second week
+            if topic == "eclipse" and day < 7:
+                continue
+            for _ in range(3):
+                words = rng.choices(vocabulary.split(), k=40)
+                words += rng.choices("city region report today".split(), k=6)
+                repo.add_text(
+                    doc_id=f"story{serial:04d}",
+                    timestamp=day + rng.random(),
+                    text=" ".join(words),
+                    topic_id=topic,
+                )
+                serial += 1
+    return repo
+
+
+def top_terms(repository, doc_ids, limit=5):
+    """Most frequent stemmed terms across a set of documents."""
+    totals = {}
+    for doc_id in doc_ids:
+        for term_id, count in repository.get(doc_id).term_counts.items():
+            totals[term_id] = totals.get(term_id, 0) + count
+    ranked = sorted(totals, key=lambda t: totals[t], reverse=True)
+    return [repository.vocabulary.term(t) for t in ranked[:limit]]
+
+
+def main():
+    repo = build_feed()
+
+    # β: a story loses half its weight in 3 days; γ: drop it after 9.
+    model = ForgettingModel(half_life=3.0, life_span=9.0)
+    clusterer = IncrementalClusterer(model, k=3, seed=0)
+
+    result = None
+    for day in range(14):
+        batch = repo.between(float(day), float(day + 1))
+        if not batch:
+            continue
+        result = clusterer.process_batch(batch, at_time=float(day + 1))
+        print(f"day {day + 1:2d}: {result.summary()}")
+
+    print("\nfinal clusters:")
+    for cluster_id, members in result.non_empty_clusters():
+        terms = ", ".join(top_terms(repo, members))
+        print(f"  cluster {cluster_id}: {len(members)} docs — {terms}")
+
+    truth = {d.doc_id: d.topic_id for d in repo
+             if d.doc_id in clusterer.statistics}
+    evaluation = evaluate_clustering(result.clusters, truth)
+    print(f"\nagainst ground truth: micro F1 {evaluation.micro_f1:.2f}, "
+          f"topics detected: {evaluation.marked_topics}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: enables ``pip install -e .`` on environments whose
+setuptools predates PEP 660 editable installs. All metadata lives in
+``pyproject.toml``."""
+
+from setuptools import setup
+
+setup()

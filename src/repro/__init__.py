@@ -1,0 +1,168 @@
+"""repro — Novelty-based incremental document clustering (ICDE 2006).
+
+A full reproduction of Khy, Ishikawa & Kitagawa, *"Novelty-based
+Incremental Document Clustering for On-line Documents"* (ICDE 2006):
+the document forgetting model, the novelty-based similarity, the
+extended K-means with cluster representatives and outlier handling, the
+incremental statistics update, baselines (classic K-means, INCR, GAC,
+F²ICM), the evaluation protocol, and a synthetic TDT2-like corpus
+generator driving every experiment in the paper.
+
+Quickstart::
+
+    from repro import ForgettingModel, IncrementalClusterer
+
+    model = ForgettingModel(half_life=7.0, life_span=14.0)
+    clusterer = IncrementalClusterer(model, k=8, seed=0)
+    result = clusterer.process_batch(day_one_docs, at_time=0.0)
+    result = clusterer.process_batch(day_two_docs, at_time=1.0)
+    print(result.summary())
+"""
+
+from .exceptions import (
+    ClusteringError,
+    ConfigurationError,
+    DuplicateDocumentError,
+    EmptyCorpusError,
+    NotFittedError,
+    ReproError,
+    UnknownDocumentError,
+    VocabularyFrozenError,
+)
+from .text import PorterStemmer, TextPipeline, Tokenizer, Vocabulary
+from .vectors import NoveltyTfidfWeighter, SparseVector
+from .corpus import (
+    Document,
+    DocumentRepository,
+    SyntheticCorpusConfig,
+    TDT2Generator,
+    TimeWindow,
+    TopicSpec,
+    NearDuplicateIndex,
+    deduplicate,
+    iter_batches,
+    load_jsonl,
+    replay,
+    save_jsonl,
+    split_into_windows,
+)
+from .forgetting import CorpusStatistics, ForgettingModel
+from .core import (
+    Cluster,
+    ClusterLabel,
+    ClusteringResult,
+    IncrementalClusterer,
+    KEstimate,
+    NonIncrementalClusterer,
+    NoveltyKMeans,
+    NoveltySimilarity,
+    ClusterSearcher,
+    TopicThread,
+    TopicTracker,
+    estimate_k,
+    label_clustering,
+)
+from .persistence import CheckpointError, load_checkpoint, save_checkpoint
+from .analysis import (
+    BurstInterval,
+    ClusterTrend,
+    cluster_novelty,
+    detect_bursts,
+    rank_hot_clusters,
+)
+from .eval import (
+    ContingencyTable,
+    MarkedCluster,
+    WindowEvaluation,
+    adjusted_rand_index,
+    evaluate_clustering,
+    inverse_purity,
+    mark_clusters,
+    normalized_mutual_information,
+    purity,
+    rand_index,
+    recency_weighted_micro_f1,
+)
+from .eval.significance import BootstrapInterval, bootstrap_micro_f1
+from .eval.latency import DetectionRecorder, LatencyReport, first_arrivals
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # exceptions
+    "ReproError",
+    "ConfigurationError",
+    "EmptyCorpusError",
+    "UnknownDocumentError",
+    "DuplicateDocumentError",
+    "ClusteringError",
+    "NotFittedError",
+    "VocabularyFrozenError",
+    # text
+    "Tokenizer",
+    "PorterStemmer",
+    "TextPipeline",
+    "Vocabulary",
+    # vectors
+    "SparseVector",
+    "NoveltyTfidfWeighter",
+    # corpus
+    "Document",
+    "DocumentRepository",
+    "TimeWindow",
+    "split_into_windows",
+    "load_jsonl",
+    "save_jsonl",
+    "iter_batches",
+    "replay",
+    "NearDuplicateIndex",
+    "deduplicate",
+    "SyntheticCorpusConfig",
+    "TDT2Generator",
+    "TopicSpec",
+    # forgetting
+    "ForgettingModel",
+    "CorpusStatistics",
+    # core
+    "NoveltySimilarity",
+    "Cluster",
+    "ClusteringResult",
+    "NoveltyKMeans",
+    "IncrementalClusterer",
+    "NonIncrementalClusterer",
+    "KEstimate",
+    "estimate_k",
+    "ClusterLabel",
+    "label_clustering",
+    "TopicTracker",
+    "TopicThread",
+    "ClusterSearcher",
+    # eval
+    "ContingencyTable",
+    "MarkedCluster",
+    "WindowEvaluation",
+    "mark_clusters",
+    "evaluate_clustering",
+    "purity",
+    "inverse_purity",
+    "normalized_mutual_information",
+    "rand_index",
+    "adjusted_rand_index",
+    "recency_weighted_micro_f1",
+    "BootstrapInterval",
+    "bootstrap_micro_f1",
+    "DetectionRecorder",
+    "LatencyReport",
+    "first_arrivals",
+    # persistence
+    "CheckpointError",
+    "save_checkpoint",
+    "load_checkpoint",
+    # analysis
+    "ClusterTrend",
+    "cluster_novelty",
+    "rank_hot_clusters",
+    "BurstInterval",
+    "detect_bursts",
+    "__version__",
+]

@@ -1,0 +1,118 @@
+"""Hot-topic ranking: which clusters are *currently* hot?
+
+The paper's stated goal is that "clustering results reflect current
+trends of hot topics", but it leaves "hot" implicit in the similarity
+weighting. This module makes it explicit: a cluster's **novelty** is
+the mean forgetting weight of its members (1.0 = all brand new,
+→0 = all stale), its **momentum** is the share of members acquired in
+the most recent fraction of the active period, and the hot ranking
+orders clusters by size-discounted novelty.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..core.result import ClusteringResult
+from ..forgetting.statistics import CorpusStatistics
+
+
+@dataclass(frozen=True)
+class ClusterTrend:
+    """Trend summary of one cluster at one instant."""
+
+    cluster_id: int
+    size: int
+    novelty: float        # mean dw of members, in (0, 1]
+    momentum: float       # fraction of members from the recent window
+    weight_mass: float    # Σ dw of members (the cluster's share of tdw·Pr)
+    mean_age_days: float  # weight-implied mean age
+
+    @property
+    def hotness(self) -> float:
+        """Ranking score: novelty scaled by log-size.
+
+        A two-document brand-new cluster should beat a stale giant, but
+        among similar novelty the bigger story ranks first; ``log1p``
+        keeps size from dominating.
+        """
+        return self.novelty * math.log1p(self.size)
+
+
+def cluster_novelty(
+    member_ids: Sequence[str],
+    statistics: CorpusStatistics,
+) -> float:
+    """Mean forgetting weight ``dw`` over ``member_ids`` (0 if empty).
+
+    Members unknown to the statistics (already expired) count as 0,
+    which is exactly what their weight has rounded to.
+    """
+    if not member_ids:
+        return 0.0
+    total = 0.0
+    for doc_id in member_ids:
+        if doc_id in statistics:
+            total += statistics.dw(doc_id)
+    return total / len(member_ids)
+
+
+def cluster_trend(
+    cluster_id: int,
+    member_ids: Sequence[str],
+    statistics: CorpusStatistics,
+    recent_days: float = 7.0,
+) -> ClusterTrend:
+    """Full :class:`ClusterTrend` for one cluster.
+
+    ``recent_days`` defines the momentum window: the share of members
+    acquired within the last ``recent_days`` before the statistics
+    clock.
+    """
+    now = statistics.now if statistics.now is not None else 0.0
+    total_weight = 0.0
+    recent = 0
+    known = 0
+    age_sum = 0.0
+    for doc_id in member_ids:
+        if doc_id not in statistics:
+            continue
+        known += 1
+        weight = statistics.dw(doc_id)
+        total_weight += weight
+        doc = statistics.document(doc_id)
+        age = now - doc.timestamp
+        age_sum += age
+        if age <= recent_days:
+            recent += 1
+    size = len(member_ids)
+    return ClusterTrend(
+        cluster_id=cluster_id,
+        size=size,
+        novelty=total_weight / size if size else 0.0,
+        momentum=recent / size if size else 0.0,
+        weight_mass=total_weight,
+        mean_age_days=age_sum / known if known else math.inf,
+    )
+
+
+def rank_hot_clusters(
+    result: ClusteringResult,
+    statistics: CorpusStatistics,
+    recent_days: float = 7.0,
+    min_size: int = 2,
+) -> List[ClusterTrend]:
+    """Clusters of ``result`` ranked by :attr:`ClusterTrend.hotness`.
+
+    Clusters smaller than ``min_size`` are omitted (singletons are
+    outlier-ish, not stories).
+    """
+    trends = [
+        cluster_trend(cluster_id, members, statistics, recent_days)
+        for cluster_id, members in result.non_empty_clusters()
+        if len(members) >= min_size
+    ]
+    trends.sort(key=lambda t: t.hotness, reverse=True)
+    return trends

@@ -1,0 +1,25 @@
+"""Baseline clustering methods the paper positions itself against.
+
+* :class:`ClassicKMeans` — the plain K-means of Section 4.1 over cosine
+  similarity of tf·idf vectors (no forgetting; what ``β → ∞`` resembles).
+* :class:`INCRClusterer` — Yang et al.'s single-pass incremental
+  clustering with a similarity threshold and a linear time-window decay.
+* :class:`GACClusterer` — Yang et al.'s group-average clustering over
+  temporal buckets with periodic re-clustering (after Cutting's
+  Fractionation).
+* :class:`F2ICMClusterer` — Ishikawa et al.'s F²ICM, the paper's
+  predecessor: seed-power seed selection (after Can's C²ICM) plus a
+  single assignment pass under the same novelty similarity.
+"""
+
+from .kmeans_classic import ClassicKMeans
+from .incr import INCRClusterer
+from .gac import GACClusterer
+from .f2icm import F2ICMClusterer
+
+__all__ = [
+    "ClassicKMeans",
+    "INCRClusterer",
+    "GACClusterer",
+    "F2ICMClusterer",
+]

@@ -1,0 +1,33 @@
+"""Shared helpers for the cosine-space baselines."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+from ..corpus.document import Document
+from ..vectors.sparse import SparseVector
+
+
+def unit_tfidf_vectors(
+    docs: Sequence[Document],
+) -> Dict[str, SparseVector]:
+    """Unit tf·idf vectors with smooth idf = 1 + ln(n/df).
+
+    The traditional cosine representation used by INCR and GAC (the
+    novelty method uses :class:`~repro.vectors.NoveltyTfidfWeighter`
+    instead).
+    """
+    df: Dict[int, int] = {}
+    for doc in docs:
+        for term_id in doc.term_counts:
+            df[term_id] = df.get(term_id, 0) + 1
+    n = len(docs)
+    vectors: Dict[str, SparseVector] = {}
+    for doc in docs:
+        weighted = {
+            term_id: count * (1.0 + math.log(n / df[term_id]))
+            for term_id, count in doc.term_counts.items()
+        }
+        vectors[doc.doc_id] = SparseVector(weighted).normalized()
+    return vectors

@@ -1,0 +1,282 @@
+"""Command-line interface.
+
+::
+
+    repro generate --output stream.jsonl [--seed N] [--total-docs N]
+    repro cluster  --input stream.jsonl [--k N] [--half-life D]
+                   [--life-span D] [--batch-days D]
+                   [--checkpoint state.json] [--resume state.json]
+    repro experiment1 [--unlabeled-per-day N]
+    repro experiment2 [--windows 1,4] [--betas 7,30]
+
+``generate`` writes the synthetic TDT2-like stream as JSON Lines;
+``cluster`` replays any JSONL stream through the incremental clusterer,
+printing a report per batch (and an evaluation when ground-truth topic
+labels are present); the experiment commands regenerate the paper's
+Table 1 and Tables 2/4 from the command line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from . import __version__
+from .corpus.loaders import load_jsonl, save_jsonl
+from .corpus.streams import replay
+from .corpus.synthetic import SyntheticCorpusConfig, TDT2Generator
+from .core.incremental import IncrementalClusterer
+from .core.labeling import label_clustering
+from .eval.metrics import evaluate_clustering
+from .forgetting.model import ForgettingModel
+from .persistence import load_checkpoint, save_checkpoint
+from .text.vocabulary import Vocabulary
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Novelty-based incremental document clustering "
+                    "(ICDE 2006 reproduction)",
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="write the synthetic TDT2-like stream as JSONL"
+    )
+    generate.add_argument("--output", required=True,
+                          help="destination .jsonl path")
+    generate.add_argument("--seed", type=int, default=1998)
+    generate.add_argument("--total-docs", type=int, default=None,
+                          help="scale the corpus (default: paper's 7578)")
+    generate.add_argument("--unlabeled-per-day", type=float, default=0.0)
+
+    cluster = commands.add_parser(
+        "cluster", help="replay a JSONL stream through the clusterer"
+    )
+    cluster.add_argument("--input", required=True, help="stream .jsonl")
+    cluster.add_argument("--k", type=int, default=16)
+    cluster.add_argument("--half-life", type=float, default=7.0)
+    cluster.add_argument("--life-span", type=float, default=14.0)
+    cluster.add_argument("--batch-days", type=float, default=7.0)
+    cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument("--top-terms", type=int, default=4)
+    cluster.add_argument("--checkpoint", default=None,
+                         help="write final state to this path")
+    cluster.add_argument("--resume", default=None,
+                         help="resume from a checkpoint written earlier")
+    cluster.add_argument("--quiet", action="store_true",
+                         help="only print the final report")
+
+    experiment1 = commands.add_parser(
+        "experiment1", help="regenerate Table 1 (timing comparison)"
+    )
+    experiment1.add_argument("--seed", type=int, default=1998)
+    experiment1.add_argument("--unlabeled-per-day", type=float,
+                             default=215.0)
+
+    experiment2 = commands.add_parser(
+        "experiment2", help="regenerate Tables 2 and 4 (quality grid)"
+    )
+    experiment2.add_argument("--seed", type=int, default=1998)
+    experiment2.add_argument("--windows", default=None,
+                             help="comma-separated window numbers (1-6)")
+    experiment2.add_argument("--betas", default="7,30",
+                             help="comma-separated half-life values")
+
+    report = commands.add_parser(
+        "report", help="run all experiments, emit a Markdown report"
+    )
+    report.add_argument("--seed", type=int, default=1998)
+    report.add_argument("--output", default=None,
+                        help="write the report here (default: stdout)")
+    report.add_argument("--quick", action="store_true",
+                        help="scaled-down corpus, two windows (~15s)")
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    kwargs = {"seed": args.seed,
+              "unlabeled_per_day": args.unlabeled_per_day}
+    if args.total_docs is not None:
+        kwargs["total_documents"] = args.total_docs
+    config = SyntheticCorpusConfig(**kwargs)
+    repository = TDT2Generator(config).generate()
+    written = save_jsonl(
+        repository.documents(), repository.vocabulary, args.output
+    )
+    print(f"wrote {written} documents to {args.output}")
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    vocabulary = Vocabulary()
+    if args.resume:
+        clusterer, vocabulary = load_checkpoint(args.resume, vocabulary)
+        print(f"resumed from {args.resume}: "
+              f"{clusterer.statistics.size} active documents at "
+              f"t={clusterer.statistics.now} "
+              f"(checkpoint parameters take precedence over "
+              f"--k/--half-life/--life-span/--seed; documents older "
+              f"than the checkpoint clock are treated as already "
+              f"processed)")
+    else:
+        model = ForgettingModel(
+            half_life=args.half_life, life_span=args.life_span
+        )
+        clusterer = IncrementalClusterer(model, k=args.k, seed=args.seed)
+
+    documents = load_jsonl(args.input, vocabulary)
+    documents.sort(key=lambda d: d.timestamp)
+    if not documents:
+        print("no documents in input", file=sys.stderr)
+        return 1
+    already = (
+        clusterer.statistics.now
+        if clusterer.statistics.now is not None else float("-inf")
+    )
+    documents = [d for d in documents if d.timestamp >= already]
+
+    if documents:
+        def report(at_time, batch, batch_result):
+            if not args.quiet:
+                print(f"t={at_time:8.1f}  +{len(batch):5d} docs  "
+                      f"{batch_result.summary()}")
+
+        # resume continues the original batch grid from the checkpoint
+        # clock; a fresh run anchors at the first document
+        origin = clusterer.statistics.now if args.resume else None
+        results = replay(
+            clusterer, documents, args.batch_days,
+            origin=origin, on_batch=report,
+        )
+        result = results[-1] if results else None
+    else:
+        # resumed past the whole stream: re-cluster the carried state
+        print("no new documents beyond the checkpoint; re-clustering "
+              "the carried state")
+        result = clusterer.process_batch(
+            [], at_time=clusterer.statistics.now
+        )
+
+    if result is None:
+        print("no batches processed", file=sys.stderr)
+        return 1
+
+    print("\nfinal clusters:")
+    active = clusterer.statistics.documents()
+    labels = label_clustering(
+        result, active, vocabulary, statistics=clusterer.statistics,
+        limit=args.top_terms,
+    )
+    for label in sorted(labels, key=lambda l: -l.size):
+        print(f"  [{label.size:5d} docs] {label}")
+    if result.outliers:
+        print(f"  ({len(result.outliers)} outliers)")
+
+    truth = {d.doc_id: d.topic_id for d in active}
+    if any(topic is not None for topic in truth.values()):
+        evaluation = evaluate_clustering(result.clusters, truth)
+        print(f"\nevaluation vs ground-truth labels: "
+              f"micro F1 {evaluation.micro_f1:.2f}, "
+              f"macro F1 {evaluation.macro_f1:.2f}, "
+              f"{evaluation.n_marked} marked clusters")
+
+    if args.checkpoint:
+        save_checkpoint(clusterer, vocabulary, args.checkpoint)
+        print(f"\ncheckpoint written to {args.checkpoint}")
+    return 0
+
+
+def _cmd_experiment1(args: argparse.Namespace) -> int:
+    from .experiments.experiment1 import (
+        ExperimentOneConfig,
+        run_experiment1,
+    )
+
+    config = ExperimentOneConfig(
+        seed=args.seed, unlabeled_per_day=args.unlabeled_per_day
+    )
+    print("running Experiment 1 (this generates the corpus and runs "
+          "both pipelines) ...\n")
+    print(run_experiment1(config).render())
+    return 0
+
+
+def _cmd_experiment2(args: argparse.Namespace) -> int:
+    from .experiments.experiment2 import (
+        ExperimentTwoConfig,
+        run_experiment2,
+    )
+
+    betas = tuple(float(b) for b in args.betas.split(","))
+    windows: Optional[List[int]] = None
+    if args.windows:
+        windows = []
+        for token in args.windows.split(","):
+            number = int(token)
+            if not 1 <= number <= 6:
+                raise ValueError(
+                    f"--windows values must be 1-6, got {number}"
+                )
+            windows.append(number - 1)
+    config = ExperimentTwoConfig(seed=args.seed, betas=betas)
+    print("running Experiment 2 (full grid takes ~2 minutes) ...\n")
+    result = run_experiment2(config, windows=windows)
+    print(result.render_table2())
+    print()
+    print(result.render_table4(betas))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .experiments.report import ReportConfig, generate_report
+
+    print("running the reproduction report "
+          f"({'quick' if args.quick else 'full'} mode) ...",
+          file=sys.stderr)
+    text = generate_report(ReportConfig(seed=args.seed, quick=args.quick))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"report written to {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "cluster": _cmd_cluster,
+    "experiment1": _cmd_experiment1,
+    "experiment2": _cmd_experiment2,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code.
+
+    User-input failures (missing files, bad parameter values, corrupt
+    checkpoints) print one-line errors and exit 2; genuine bugs still
+    traceback.
+    """
+    from .exceptions import ReproError
+
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except FileNotFoundError as exc:
+        print(f"error: file not found: {exc.filename or exc}",
+              file=sys.stderr)
+        return 2
+    except (ReproError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""The paper's primary contribution: novelty-based similarity, the
+extended K-means with cluster representatives, and the incremental
+clustering pipeline."""
+
+from .similarity import NoveltySimilarity
+from .cluster import Cluster
+from .result import ClusteringResult
+from .kmeans import NoveltyKMeans
+from .incremental import IncrementalClusterer, NonIncrementalClusterer
+from .kestimate import KEstimate, estimate_k
+from .search import ClusterSearcher, SearchHit
+from .tracking import ThreadEvent, TopicThread, TopicTracker, TrackingSnapshot
+from .labeling import (
+    ClusterLabel,
+    corpus_term_counts,
+    discriminative_terms,
+    label_clustering,
+    medoid_document,
+    representative_terms,
+)
+
+__all__ = [
+    "NoveltySimilarity",
+    "Cluster",
+    "ClusteringResult",
+    "NoveltyKMeans",
+    "IncrementalClusterer",
+    "NonIncrementalClusterer",
+    "KEstimate",
+    "estimate_k",
+    "ClusterLabel",
+    "label_clustering",
+    "representative_terms",
+    "discriminative_terms",
+    "corpus_term_counts",
+    "medoid_document",
+    "TopicTracker",
+    "TopicThread",
+    "ThreadEvent",
+    "TrackingSnapshot",
+    "ClusterSearcher",
+    "SearchHit",
+]

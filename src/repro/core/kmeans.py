@@ -1,0 +1,636 @@
+"""The paper's extended K-means (Section 4.3) with two engines.
+
+Algorithm (paper Section 4.3):
+
+* **Initial process** — pick K random documents as singleton clusters,
+  compute representatives and the clustering index ``G`` (Eq. 17).
+* **Repetition process** — for each document, compute the intra-cluster
+  similarity it would produce in every cluster (Eq. 26, one sparse dot
+  product per cluster) and assign it to the cluster whose
+  *increase* is largest; documents that increase no cluster go to the
+  **outlier list** and re-enter as normal documents next iteration.
+  Terminate when ``(G_new - G_old)/G_old < δ``.
+
+Engines
+-------
+
+``engine="sparse"``
+    Reference implementation built on :class:`~repro.core.Cluster`
+    (dict-backed sparse vectors). Mirrors the paper's formulas
+    line-by-line; used by the correctness tests.
+
+``engine="dense"``
+    numpy implementation: representatives live in a K×V dense matrix so
+    the per-document gain over *all* clusters is one fancy-indexed
+    matrix-vector product. Produces the same clustering (up to
+    float-summation-order ties); used by the experiment harness where
+    the corpus has thousands of documents.
+
+Both engines implement the same small backend interface consumed by the
+shared iteration loop, so the algorithm logic exists exactly once.
+"""
+
+from __future__ import annotations
+
+import random
+import time as time_module
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .._validation import (
+    require_in_open_interval,
+    require_positive_int,
+)
+from ..corpus.document import Document
+from ..exceptions import ClusteringError, ConfigurationError
+from ..forgetting.statistics import CorpusStatistics
+from ..vectors.sparse import SparseVector
+from ..vectors.tfidf import NoveltyTfidfWeighter
+from .cluster import Cluster
+from .result import ClusteringResult
+
+
+class _SparseBackend:
+    """Backend over :class:`Cluster` objects (reference implementation)."""
+
+    def __init__(
+        self, k: int, vectors: Dict[str, SparseVector], criterion: str
+    ) -> None:
+        self.clusters = [Cluster(i) for i in range(k)]
+        self._vectors = vectors
+        self._criterion = criterion
+
+    def add(self, cluster_id: int, doc_id: str) -> None:
+        self.clusters[cluster_id].add(doc_id, self._vectors[doc_id])
+
+    def remove(self, cluster_id: int, doc_id: str) -> None:
+        self.clusters[cluster_id].remove(doc_id)
+
+    def best_gain(self, doc_id: str) -> Tuple[int, float]:
+        """Return ``(cluster_id, gain)`` of the largest-gain cluster."""
+        vector = self._vectors[doc_id]
+        best_id, best_gain = -1, float("-inf")
+        for cluster in self.clusters:
+            if self._criterion == "g":
+                gain = cluster.g_gain_if_added(vector)
+            else:
+                gain = cluster.gain_if_added(vector)
+            if gain > best_gain:
+                best_id, best_gain = cluster.cluster_id, gain
+        return best_id, best_gain
+
+    def sizes(self) -> List[int]:
+        return [cluster.size for cluster in self.clusters]
+
+    def refresh(self) -> None:
+        for cluster in self.clusters:
+            cluster.refresh()
+
+    def clustering_index(self) -> float:
+        return sum(cluster.index_contribution() for cluster in self.clusters)
+
+    def members(self) -> List[List[str]]:
+        return [cluster.member_ids() for cluster in self.clusters]
+
+    def self_similarity(self, doc_id: str) -> float:
+        vector = self._vectors[doc_id]
+        return vector.dot(vector)
+
+
+class _DenseBackend:
+    """numpy backend: K×V representative matrix, vectorised gains."""
+
+    def __init__(
+        self, k: int, vectors: Dict[str, SparseVector], criterion: str
+    ) -> None:
+        self._criterion = criterion
+        term_ids = sorted({t for v in vectors.values() for t in v.keys()})
+        self._column: Dict[int, int] = {t: i for i, t in enumerate(term_ids)}
+        n_terms = max(1, len(term_ids))
+        self._doc_ids: Dict[str, np.ndarray] = {}
+        self._doc_vals: Dict[str, np.ndarray] = {}
+        self._doc_w2: Dict[str, float] = {}
+        for doc_id, vector in vectors.items():
+            items = sorted(vector.items())
+            ids = np.fromiter(
+                (self._column[t] for t, _ in items), dtype=np.int64,
+                count=len(items),
+            )
+            vals = np.fromiter(
+                (v for _, v in items), dtype=np.float64, count=len(items)
+            )
+            self._doc_ids[doc_id] = ids
+            self._doc_vals[doc_id] = vals
+            self._doc_w2[doc_id] = float(vals @ vals)
+        self._rep = np.zeros((k, n_terms), dtype=np.float64)
+        self._crpp = np.zeros(k, dtype=np.float64)
+        self._ss = np.zeros(k, dtype=np.float64)
+        self._sizes = np.zeros(k, dtype=np.int64)
+        self._members: List[Dict[str, None]] = [{} for _ in range(k)]
+
+    def add(self, cluster_id: int, doc_id: str) -> None:
+        ids, vals = self._doc_ids[doc_id], self._doc_vals[doc_id]
+        w2 = self._doc_w2[doc_id]
+        dot = float(self._rep[cluster_id, ids] @ vals)
+        self._crpp[cluster_id] += 2.0 * dot + w2
+        self._ss[cluster_id] += w2
+        self._rep[cluster_id, ids] += vals
+        self._sizes[cluster_id] += 1
+        self._members[cluster_id][doc_id] = None
+
+    def remove(self, cluster_id: int, doc_id: str) -> None:
+        del self._members[cluster_id][doc_id]
+        ids, vals = self._doc_ids[doc_id], self._doc_vals[doc_id]
+        w2 = self._doc_w2[doc_id]
+        dot = float(self._rep[cluster_id, ids] @ vals)
+        self._crpp[cluster_id] += -2.0 * dot + w2
+        self._ss[cluster_id] -= w2
+        self._rep[cluster_id, ids] -= vals
+        self._sizes[cluster_id] -= 1
+        if self._sizes[cluster_id] == 0:
+            self._rep[cluster_id, :] = 0.0
+            self._crpp[cluster_id] = 0.0
+            self._ss[cluster_id] = 0.0
+
+    def best_gain(self, doc_id: str) -> Tuple[int, float]:
+        ids, vals = self._doc_ids[doc_id], self._doc_vals[doc_id]
+        n = self._sizes
+        cr_pq = self._rep[:, ids] @ vals
+        if self._criterion == "g":
+            pair_sum = (self._crpp - self._ss) / 2.0
+            gains = np.where(
+                n > 1,
+                2.0 * (cr_pq * (n - 1) - pair_sum)
+                / np.maximum(n * (n - 1), 1),
+                np.where(n == 1, 2.0 * cr_pq, 0.0),
+            )
+        else:
+            avg_new = np.where(
+                n > 0,
+                (self._crpp + 2.0 * cr_pq - self._ss)
+                / np.maximum(n * (n + 1), 1),
+                0.0,
+            )
+            avg_cur = np.where(
+                n > 1,
+                (self._crpp - self._ss) / np.maximum(n * (n - 1), 1),
+                0.0,
+            )
+            gains = avg_new - avg_cur
+        best = int(np.argmax(gains))
+        return best, float(gains[best])
+
+    def sizes(self) -> List[int]:
+        return [int(s) for s in self._sizes]
+
+    def refresh(self) -> None:
+        self._crpp = np.einsum("ij,ij->i", self._rep, self._rep)
+
+    def clustering_index(self) -> float:
+        n = self._sizes
+        contributions = np.where(
+            n > 1,
+            (self._crpp - self._ss) / np.maximum(n - 1, 1),
+            0.0,
+        )
+        return float(contributions.sum())
+
+    def members(self) -> List[List[str]]:
+        return [list(members.keys()) for members in self._members]
+
+    def self_similarity(self, doc_id: str) -> float:
+        return self._doc_w2[doc_id]
+
+
+_BACKENDS = {"sparse": _SparseBackend, "dense": _DenseBackend}
+
+
+class NoveltyKMeans:
+    """The paper's extended K-means over novelty-based similarity.
+
+    Parameters
+    ----------
+    k:
+        Number of clusters (paper uses 24 or 32).
+    delta:
+        Convergence threshold ``δ`` on the relative increase of the
+        clustering index ``G`` (Section 4.3 step 4).
+    max_iterations:
+        Safety cap on repetition-process iterations.
+    seed:
+        Seed for the random initial seed-document selection.
+    engine:
+        ``"dense"`` (numpy, default) or ``"sparse"`` (reference).
+    reseed_empty:
+        When True (default), a cluster that lost all members is
+        re-seeded with the strongest outlier at the end of the pass,
+        keeping K live clusters as the paper assumes.
+    criterion:
+        Assignment gain criterion for step 1(b) of Section 4.3:
+
+        * ``"g"`` (default) — greedy ascent on the clustering index
+          ``G``: gain is the change of the cluster's ``|C_p|·avg_sim``
+          term. Positive exactly when the document's mean similarity to
+          the members exceeds *half* the current average. Consistent
+          with the paper's convergence objective (step 4 monitors G)
+          and with the cluster sizes its experiments report.
+        * ``"avg"`` — the literal text of step 1(b): gain is the change
+          of ``avg_sim`` itself. Rejects every document less similar
+          than the current cluster average, which on homogeneous
+          streams discards most documents as outliers; kept for the
+          criterion-ablation benchmark.
+    rescue_outliers:
+        Library extension beyond the paper (default off) enabling two
+        repair moves that per-document reassignment cannot express:
+
+        * **outlier rescue** — under warm starts a newly emerging topic
+          can starve: every cluster slot is held by an established
+          topic, so the new topic's documents land in the outlier list
+          forever (their gain against foreign clusters is never
+          positive). After each pass a candidate cluster is grown
+          greedily from the outlier list; if its ``G`` contribution
+          exceeds the weakest live cluster's, the weakest cluster is
+          evicted (its members re-enter as normal documents next
+          iteration, mirroring the paper's outlier semantics) and the
+          candidate takes the slot.
+        * **split repair** — per-document moves can merge clusters but
+          never split one, so a degenerate early merge (first batch
+          smaller than K) persists forever, wasting empty slots. When
+          an empty slot exists, the best positive-ΔG two-way split of
+          an existing cluster fills it.
+
+        Both moves are accepted only when they increase ``G``, so the
+        greedy-ascent property is preserved. The on-line pipeline
+        enables this by default; the batch experiments don't.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        delta: float = 0.01,
+        max_iterations: int = 30,
+        seed: Optional[int] = None,
+        engine: str = "dense",
+        reseed_empty: bool = True,
+        criterion: str = "g",
+        rescue_outliers: bool = False,
+    ) -> None:
+        self.k = require_positive_int("k", k)
+        self.delta = require_in_open_interval("delta", delta, 0.0, 1.0)
+        self.max_iterations = require_positive_int(
+            "max_iterations", max_iterations
+        )
+        self.seed = seed
+        if engine not in _BACKENDS:
+            raise ConfigurationError(
+                f"engine must be one of {sorted(_BACKENDS)}, got {engine!r}"
+            )
+        self.engine = engine
+        self.reseed_empty = bool(reseed_empty)
+        if criterion not in ("g", "avg"):
+            raise ConfigurationError(
+                f"criterion must be 'g' or 'avg', got {criterion!r}"
+            )
+        self.criterion = criterion
+        self.rescue_outliers = bool(rescue_outliers)
+
+    # -- public API ---------------------------------------------------------
+
+    def fit(
+        self,
+        documents: Sequence[Document],
+        statistics: CorpusStatistics,
+        initial_assignment: Optional[Dict[str, int]] = None,
+    ) -> ClusteringResult:
+        """Cluster ``documents`` against ``statistics``.
+
+        ``initial_assignment`` (``doc_id -> cluster_id``) enables the
+        warm start of Section 5.2: listed documents form the initial
+        clusters and unlisted ones start unassigned. Without it, K
+        random documents seed singleton clusters (Section 4.3).
+        """
+        start = time_module.perf_counter()
+        docs = list(documents)
+        if not docs:
+            raise ClusteringError("cannot cluster an empty document set")
+        if len(docs) < self.k and initial_assignment is None:
+            raise ClusteringError(
+                f"need at least k={self.k} documents for random "
+                f"initialisation, got {len(docs)}"
+            )
+        vectors = NoveltyTfidfWeighter(statistics).weighted_vectors(docs)
+
+        backend = _BACKENDS[self.engine](self.k, vectors, self.criterion)
+        assignment: Dict[str, int] = {}
+        if initial_assignment is not None:
+            self._warm_start(backend, docs, vectors, initial_assignment,
+                             assignment)
+        else:
+            self._random_seeds(backend, docs, vectors, assignment)
+
+        g_old = backend.clustering_index()
+        history: List[float] = []
+        outliers: List[str] = []
+        converged = False
+        iterations = 0
+
+        for iterations in range(1, self.max_iterations + 1):
+            outliers = self._assignment_pass(backend, docs, vectors,
+                                             assignment)
+            if self.reseed_empty:
+                self._reseed_empty_clusters(backend, outliers, assignment)
+            rescued = False
+            if self.rescue_outliers:
+                if outliers:
+                    rescued = self._rescue_outliers(
+                        backend, vectors, outliers, assignment
+                    )
+                if not rescued:
+                    rescued = self._split_repair(
+                        backend, vectors, assignment
+                    )
+            backend.refresh()
+            g_new = backend.clustering_index()
+            history.append(g_new)
+            if not rescued and self._converged(g_old, g_new):
+                converged = True
+                break
+            g_old = g_new
+
+        elapsed = time_module.perf_counter() - start
+        return ClusteringResult(
+            clusters=tuple(tuple(m) for m in backend.members()),
+            outliers=tuple(outliers),
+            clustering_index=history[-1] if history else g_old,
+            index_history=tuple(history),
+            iterations=iterations,
+            converged=converged,
+            timings={"clustering": elapsed},
+        )
+
+    # -- phases ------------------------------------------------------------
+
+    def _random_seeds(
+        self,
+        backend,
+        docs: Sequence[Document],
+        vectors: Dict[str, SparseVector],
+        assignment: Dict[str, int],
+    ) -> None:
+        """Initial process step 1: K random singleton clusters."""
+        rng = random.Random(self.seed)
+        candidates = [d.doc_id for d in docs if len(vectors[d.doc_id])]
+        if not candidates:
+            raise ClusteringError(
+                "no document has a non-zero vector; nothing to cluster"
+            )
+        seeds = rng.sample(candidates, min(self.k, len(candidates)))
+        for cluster_id, doc_id in enumerate(seeds):
+            backend.add(cluster_id, doc_id)
+            assignment[doc_id] = cluster_id
+
+    def _warm_start(
+        self,
+        backend,
+        docs: Sequence[Document],
+        vectors: Dict[str, SparseVector],
+        initial_assignment: Dict[str, int],
+        assignment: Dict[str, int],
+    ) -> None:
+        """Section 5.2 step 3: previous clusters as initial clusters."""
+        known = {doc.doc_id for doc in docs}
+        for doc_id, cluster_id in initial_assignment.items():
+            if doc_id not in known:
+                continue
+            if not 0 <= cluster_id < self.k:
+                raise ConfigurationError(
+                    f"initial assignment of {doc_id!r} to cluster "
+                    f"{cluster_id} outside [0, {self.k})"
+                )
+            if not len(vectors[doc_id]):
+                continue
+            backend.add(cluster_id, doc_id)
+            assignment[doc_id] = cluster_id
+
+    def _assignment_pass(
+        self,
+        backend,
+        docs: Sequence[Document],
+        vectors: Dict[str, SparseVector],
+        assignment: Dict[str, int],
+    ) -> List[str]:
+        """Repetition-process step 1 over all documents; returns outliers."""
+        outliers: List[str] = []
+        for doc in docs:
+            doc_id = doc.doc_id
+            current = assignment.pop(doc_id, None)
+            if current is not None:
+                backend.remove(current, doc_id)
+            if not len(vectors[doc_id]):
+                outliers.append(doc_id)
+                continue
+            best_cluster, best_gain = backend.best_gain(doc_id)
+            if best_gain > 0.0:
+                backend.add(best_cluster, doc_id)
+                assignment[doc_id] = best_cluster
+            else:
+                outliers.append(doc_id)
+        return outliers
+
+    def _reseed_empty_clusters(
+        self,
+        backend,
+        outliers: List[str],
+        assignment: Dict[str, int],
+    ) -> None:
+        """Seed emptied clusters with the strongest remaining outliers."""
+        empty = [cid for cid, size in enumerate(backend.sizes()) if size == 0]
+        if not empty or not outliers:
+            return
+        ranked = sorted(
+            outliers,
+            key=lambda doc_id: backend.self_similarity(doc_id),
+            reverse=True,
+        )
+        seeded = set()
+        next_rank = 0
+        for cluster_id in empty:
+            if next_rank >= len(ranked):
+                break
+            doc_id = ranked[next_rank]
+            next_rank += 1
+            if backend.self_similarity(doc_id) <= 0.0:
+                break
+            backend.add(cluster_id, doc_id)
+            assignment[doc_id] = cluster_id
+            seeded.add(doc_id)
+        if seeded:
+            outliers[:] = [d for d in outliers if d not in seeded]
+
+    def _rescue_outliers(
+        self,
+        backend,
+        vectors: Dict[str, SparseVector],
+        outliers: List[str],
+        assignment: Dict[str, int],
+    ) -> bool:
+        """Swap the weakest cluster for a cluster grown from outliers.
+
+        Builds a scratch candidate greedily (strongest outlier as seed,
+        then every outlier with positive ΔG gain), and performs the swap
+        only when the candidate's ``G`` contribution beats the weakest
+        live cluster's. Returns True when a swap happened.
+        """
+        candidate = Cluster(-1)
+        ranked = sorted(
+            (doc_id for doc_id in outliers
+             if backend.self_similarity(doc_id) > 0.0),
+            key=lambda doc_id: backend.self_similarity(doc_id),
+            reverse=True,
+        )
+        if len(ranked) < 2:
+            return False
+        for doc_id in ranked:
+            if candidate.is_empty:
+                candidate.add(doc_id, vectors[doc_id])
+            elif candidate.g_gain_if_added(vectors[doc_id]) > 0.0:
+                candidate.add(doc_id, vectors[doc_id])
+        if candidate.size < 2:
+            return False
+
+        sizes = backend.sizes()
+        contributions = self._contributions(backend)
+        live = [cid for cid, size in enumerate(sizes) if size > 0]
+        if not live:
+            return False
+        weakest = min(live, key=lambda cid: contributions[cid])
+        if candidate.index_contribution() <= contributions[weakest]:
+            return False
+
+        evicted = list(backend.members()[weakest])
+        for doc_id in evicted:
+            backend.remove(weakest, doc_id)
+            del assignment[doc_id]
+        rescued = set(candidate.member_ids())
+        for doc_id in candidate.member_ids():
+            backend.add(weakest, doc_id)
+            assignment[doc_id] = weakest
+        # one linear rebuild instead of a list.remove per rescued doc
+        outliers[:] = [d for d in outliers if d not in rescued] + evicted
+        return True
+
+    def _split_repair(
+        self,
+        backend,
+        vectors: Dict[str, SparseVector],
+        assignment: Dict[str, int],
+    ) -> bool:
+        """Fill an empty slot by splitting a low-cohesion cluster.
+
+        Per-document moves can merge clusters but never split one, so a
+        degenerate early merge (e.g. the first batch holding fewer
+        documents than K) persists forever under warm starts, wasting
+        empty slots. When an empty slot exists, propose a 2-way split
+        of each cluster (seeds: the member farthest from the
+        representative and the member least similar to it; members
+        assigned by higher similarity) and perform the best split whose
+        ``G`` delta is positive. One split per iteration keeps the
+        ascent gentle.
+        """
+        sizes = backend.sizes()
+        empty = [cid for cid, size in enumerate(sizes) if size == 0]
+        if not empty:
+            return False
+        contributions = self._contributions(backend)
+        all_members = backend.members()
+        best: Optional[Tuple[float, int, List[str]]] = None
+        for cid, size in enumerate(sizes):
+            if size < 2:
+                continue
+            members = all_members[cid]
+            moved = self._propose_split(members, vectors)
+            if not moved or len(moved) == len(members):
+                continue
+            moved_set = set(moved)
+            keep = [m for m in members if m not in moved_set]
+            delta = (
+                self._scratch_contribution(keep, vectors)
+                + self._scratch_contribution(moved, vectors)
+                - contributions[cid]
+            )
+            if delta > 1e-18 and (best is None or delta > best[0]):
+                best = (delta, cid, moved)
+        if best is None:
+            return False
+        _, cid, moved = best
+        target = empty[0]
+        for doc_id in moved:
+            backend.remove(cid, doc_id)
+            backend.add(target, doc_id)
+            assignment[doc_id] = target
+        return True
+
+    @staticmethod
+    def _propose_split(
+        members: List[str], vectors: Dict[str, SparseVector]
+    ) -> List[str]:
+        """Members to move out: the half closer to the 'odd one out'.
+
+        Seed A is the member least similar to the cluster
+        representative; seed B the member least similar to A. Each
+        member goes with the seed it is more similar to; the group
+        holding seed A (the outsiders) is returned.
+        """
+        representative = SparseVector()
+        for doc_id in members:
+            representative.add_scaled(vectors[doc_id], 1.0)
+        seed_a = min(
+            members,
+            key=lambda m: representative.dot(vectors[m])
+            - vectors[m].dot(vectors[m]),
+        )
+        seed_b = min(
+            members, key=lambda m: vectors[seed_a].dot(vectors[m])
+        )
+        if seed_a == seed_b:
+            return []
+        moved = []
+        for doc_id in members:
+            sim_a = vectors[seed_a].dot(vectors[doc_id])
+            sim_b = vectors[seed_b].dot(vectors[doc_id])
+            if doc_id == seed_a or sim_a > sim_b:
+                moved.append(doc_id)
+        return moved
+
+    @staticmethod
+    def _scratch_contribution(
+        member_ids: List[str], vectors: Dict[str, SparseVector]
+    ) -> float:
+        """``|C|·avg_sim`` of a hypothetical cluster over ``member_ids``."""
+        scratch = Cluster(-1)
+        for doc_id in member_ids:
+            scratch.add(doc_id, vectors[doc_id])
+        return scratch.index_contribution()
+
+    @staticmethod
+    def _contributions(backend) -> List[float]:
+        """Per-cluster ``|C_p|·avg_sim(C_p)`` terms of G."""
+        if isinstance(backend, _SparseBackend):
+            return [c.index_contribution() for c in backend.clusters]
+        sizes = backend.sizes()
+        contributions = []
+        for cid, size in enumerate(sizes):
+            if size < 2:
+                contributions.append(0.0)
+                continue
+            contributions.append(
+                (backend._crpp[cid] - backend._ss[cid]) / (size - 1)
+            )
+        return contributions
+
+    def _converged(self, g_old: float, g_new: float) -> bool:
+        """Section 4.3 step 4: ``(G_new - G_old)/G_old < δ``."""
+        if g_old <= 0.0:
+            return g_new <= 0.0
+        return (g_new - g_old) / g_old < self.delta

@@ -1,0 +1,175 @@
+"""Human-readable cluster labels.
+
+The paper presents clustering results as "recent topics", which needs a
+label per cluster. Two scorers are provided:
+
+* :func:`representative_terms` — the top components of the cluster
+  representative ``c⃗_p`` (Eq. 19-20). Since ``c⃗_p`` sums
+  ``Pr(d)·tf·idf/len`` over members, its largest coordinates are the
+  terms that are frequent *in the cluster's recent documents* and rare
+  in the corpus — a novelty-weighted label, for free.
+* :func:`discriminative_terms` — frequency²/corpus-frequency scoring
+  with no statistics dependency; useful for labelling baseline results
+  that have no forgetting model.
+
+:func:`label_clustering` applies either to a whole
+:class:`~repro.core.ClusteringResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .._validation import require_positive_int
+from ..corpus.document import Document
+from ..forgetting.statistics import CorpusStatistics
+from ..text.vocabulary import Vocabulary
+from ..vectors.sparse import SparseVector
+from ..vectors.tfidf import NoveltyTfidfWeighter
+from .result import ClusteringResult
+
+
+@dataclass(frozen=True)
+class ClusterLabel:
+    """Label of one cluster: ranked terms with their scores."""
+
+    cluster_id: int
+    size: int
+    terms: Tuple[str, ...]
+    scores: Tuple[float, ...]
+
+    def __str__(self) -> str:
+        return ", ".join(self.terms)
+
+
+def representative_terms(
+    members: Sequence[Document],
+    statistics: CorpusStatistics,
+    vocabulary: Vocabulary,
+    limit: int = 5,
+) -> List[Tuple[str, float]]:
+    """Top-``limit`` components of the cluster representative (Eq. 20).
+
+    Returns ``(term, weight)`` pairs sorted by descending weight.
+    """
+    require_positive_int("limit", limit)
+    weighter = NoveltyTfidfWeighter(statistics)
+    representative = weighter.representative(members)
+    ranked = sorted(
+        representative.items(), key=lambda item: item[1], reverse=True
+    )
+    return [
+        (vocabulary.term(term_id), weight)
+        for term_id, weight in ranked[:limit]
+    ]
+
+
+def discriminative_terms(
+    members: Sequence[Document],
+    corpus_counts: Mapping[int, int],
+    vocabulary: Vocabulary,
+    limit: int = 5,
+) -> List[Tuple[str, float]]:
+    """Top-``limit`` terms by ``count² / (1 + corpus count)``.
+
+    ``corpus_counts`` maps term id to its total frequency in the whole
+    corpus (see :func:`corpus_term_counts`); the ratio suppresses
+    background words while still favouring frequent cluster terms.
+    """
+    require_positive_int("limit", limit)
+    totals: Dict[int, int] = {}
+    for doc in members:
+        for term_id, count in doc.term_counts.items():
+            totals[term_id] = totals.get(term_id, 0) + count
+    scored = [
+        (term_id, count * count / (1.0 + corpus_counts.get(term_id, 0)))
+        for term_id, count in totals.items()
+    ]
+    scored.sort(key=lambda item: item[1], reverse=True)
+    return [
+        (vocabulary.term(term_id), score)
+        for term_id, score in scored[:limit]
+    ]
+
+
+def corpus_term_counts(documents: Sequence[Document]) -> Dict[int, int]:
+    """Total term frequencies over ``documents`` (for the
+    discriminative scorer)."""
+    counts: Dict[int, int] = {}
+    for doc in documents:
+        for term_id, count in doc.term_counts.items():
+            counts[term_id] = counts.get(term_id, 0) + count
+    return counts
+
+
+def medoid_document(
+    members: Sequence[Document],
+    statistics: CorpusStatistics,
+) -> Optional[Document]:
+    """The cluster's most central document (max mean similarity).
+
+    A one-document extractive summary: the story whose novelty-weighted
+    similarity to the rest of the cluster is highest. ``None`` for
+    empty input; the single member for singletons.
+    """
+    if not members:
+        return None
+    if len(members) == 1:
+        return members[0]
+    weighter = NoveltyTfidfWeighter(statistics)
+    vectors = [weighter.weighted_vector(doc) for doc in members]
+    representative = SparseVector()
+    for vector in vectors:
+        representative.add_scaled(vector, 1.0)
+    best_doc = None
+    best_score = float("-inf")
+    for doc, vector in zip(members, vectors):
+        # Σ_j sim(d, d_j) for j != d  ==  c⃗·w⃗ - w⃗·w⃗
+        score = representative.dot(vector) - vector.dot(vector)
+        if score > best_score:
+            best_score = score
+            best_doc = doc
+    return best_doc
+
+
+def label_clustering(
+    result: ClusteringResult,
+    documents: Sequence[Document],
+    vocabulary: Vocabulary,
+    statistics: Optional[CorpusStatistics] = None,
+    limit: int = 5,
+) -> List[ClusterLabel]:
+    """Label every non-empty cluster of ``result``.
+
+    Uses :func:`representative_terms` when ``statistics`` is given
+    (novelty-weighted labels), otherwise :func:`discriminative_terms`.
+    Documents listed in ``result`` but missing from ``documents`` are
+    skipped (e.g. expired between clustering and labelling).
+    """
+    by_id = {doc.doc_id: doc for doc in documents}
+    corpus_counts = (
+        corpus_term_counts(documents) if statistics is None else None
+    )
+    labels: List[ClusterLabel] = []
+    for cluster_id, member_ids in result.non_empty_clusters():
+        members = [by_id[m] for m in member_ids if m in by_id]
+        if not members:
+            continue
+        if statistics is not None:
+            ranked = representative_terms(
+                members, statistics, vocabulary, limit
+            )
+        else:
+            ranked = discriminative_terms(
+                members, corpus_counts, vocabulary, limit
+            )
+        labels.append(
+            ClusterLabel(
+                cluster_id=cluster_id,
+                size=len(members),
+                terms=tuple(term for term, _ in ranked),
+                scores=tuple(score for _, score in ranked),
+            )
+        )
+    return labels

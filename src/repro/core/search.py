@@ -1,0 +1,114 @@
+"""Query -> cluster retrieval over novelty-weighted representatives.
+
+A monitoring UI needs "show me the clusters about X". The searcher
+embeds a free-text query with the same pipeline and novelty idf the
+clusters were built with, and ranks clusters by cosine between the
+query vector and each (normalised) cluster representative. Because the
+representatives are ``Pr(d)``-weighted sums, recently active clusters
+score higher for equally matching content — search inherits the
+novelty bias for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .._validation import require_positive_int
+from ..corpus.document import Document
+from ..forgetting.statistics import CorpusStatistics
+from ..text.pipeline import TextPipeline
+from ..text.vocabulary import Vocabulary
+from ..vectors.sparse import SparseVector
+from ..vectors.tfidf import NoveltyTfidfWeighter
+from .result import ClusteringResult
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One retrieved cluster."""
+
+    cluster_id: int
+    score: float            # cosine in [0, 1]
+    size: int
+    matched_terms: Tuple[str, ...]
+
+
+class ClusterSearcher:
+    """Rank a clustering's clusters against free-text queries.
+
+    Representatives are built once at construction; rebuild the
+    searcher after re-clustering.
+
+    >>> searcher = ClusterSearcher(result, docs, stats, vocabulary)  # doctest: +SKIP
+    >>> searcher.search("asian economy crisis")[0].cluster_id         # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        result: ClusteringResult,
+        documents: Sequence[Document],
+        statistics: CorpusStatistics,
+        vocabulary: Vocabulary,
+        pipeline: Optional[TextPipeline] = None,
+    ) -> None:
+        self.vocabulary = vocabulary
+        self.pipeline = pipeline if pipeline is not None else TextPipeline()
+        self._weighter = NoveltyTfidfWeighter(statistics)
+        by_id = {doc.doc_id: doc for doc in documents}
+        self._representatives: Dict[int, SparseVector] = {}
+        self._sizes: Dict[int, int] = {}
+        for cluster_id, member_ids in result.non_empty_clusters():
+            members = [by_id[m] for m in member_ids if m in by_id]
+            representative = self._weighter.representative(
+                members, normalized=True
+            )
+            if representative:
+                self._representatives[cluster_id] = representative
+                self._sizes[cluster_id] = len(member_ids)
+
+    def query_vector(self, query: str) -> SparseVector:
+        """Unit tf·idf vector of ``query`` (novelty idf; unknown or
+        zero-information terms drop out)."""
+        counts = self.pipeline.term_frequencies(query)
+        weighted: Dict[int, float] = {}
+        for term, count in counts.items():
+            term_id = self.vocabulary.get(term)
+            if term_id < 0:
+                continue
+            idf = self._weighter.idf(term_id)
+            if idf > 0.0:
+                weighted[term_id] = count * idf
+        return SparseVector(weighted).normalized()
+
+    def search(self, query: str, limit: int = 5) -> List[SearchHit]:
+        """Top-``limit`` clusters for ``query``, best first.
+
+        Clusters with zero overlap are omitted, so fewer than ``limit``
+        hits (or none) may return.
+        """
+        require_positive_int("limit", limit)
+        vector = self.query_vector(query)
+        if not vector:
+            return []
+        query_terms = set(vector.keys())
+        hits: List[SearchHit] = []
+        for cluster_id, representative in self._representatives.items():
+            score = representative.dot(vector)
+            if score <= 0.0:
+                continue
+            matched = tuple(
+                self.vocabulary.term(term_id)
+                for term_id in sorted(
+                    query_terms & set(representative.keys()),
+                    key=lambda t: -(representative[t] * vector[t]),
+                )
+            )
+            hits.append(SearchHit(
+                cluster_id=cluster_id,
+                score=score,
+                size=self._sizes[cluster_id],
+                matched_terms=matched,
+            ))
+        hits.sort(key=lambda hit: (-hit.score, hit.cluster_id))
+        return hits[:limit]

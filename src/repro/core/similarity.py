@@ -1,0 +1,110 @@
+"""Novelty-based document similarity (paper Section 3).
+
+Two equivalent computations are provided:
+
+* :meth:`NoveltySimilarity.similarity` — the factorised form of Eq. 16,
+  a dot product of weighted vectors ``w⃗_i · w⃗_j``. This is the form the
+  clustering algorithm uses.
+* :meth:`NoveltySimilarity.similarity_probabilistic` — the direct
+  probabilistic form of Eq. 11,
+
+      sim(d_i,d_j) ≃ Pr(d_i)·Pr(d_j) / (len_i·len_j) · Σ_k f_ik·f_jk/Pr(t_k)
+
+  kept as an independently-coded oracle; the test suite asserts the two
+  agree to floating-point tolerance on random corpora.
+
+The similarity is a co-occurrence *probability*, not a cosine: it is not
+bounded by 1 and decays quadratically as documents age (both ``Pr(d)``
+factors shrink). That asymmetry against old documents is the paper's
+entire point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from ..corpus.document import Document
+from ..forgetting.statistics import CorpusStatistics
+from ..vectors.sparse import SparseVector
+from ..vectors.tfidf import NoveltyTfidfWeighter
+
+
+class NoveltySimilarity:
+    """Similarity oracle bound to one statistics snapshot."""
+
+    def __init__(
+        self,
+        statistics: CorpusStatistics,
+        weighter: Optional[NoveltyTfidfWeighter] = None,
+    ) -> None:
+        self.statistics = statistics
+        self.weighter = (
+            weighter if weighter is not None
+            else NoveltyTfidfWeighter(statistics)
+        )
+        self._vector_cache: Dict[str, SparseVector] = {}
+
+    # -- factorised form (Eq. 16) ------------------------------------------
+
+    def weighted_vector(self, document: Document) -> SparseVector:
+        """Cached ``w⃗_i``; see :class:`NoveltyTfidfWeighter`."""
+        vector = self._vector_cache.get(document.doc_id)
+        if vector is None:
+            vector = self.weighter.weighted_vector(document)
+            self._vector_cache[document.doc_id] = vector
+        return vector
+
+    def similarity(self, first: Document, second: Document) -> float:
+        """``sim(d_i, d_j) = w⃗_i · w⃗_j`` (Eq. 16, factorised)."""
+        return self.weighted_vector(first).dot(self.weighted_vector(second))
+
+    def self_similarity(self, document: Document) -> float:
+        """``sim(d_i, d_i)`` — a term of ``ss(C_p)`` (Eq. 23)."""
+        vector = self.weighted_vector(document)
+        return vector.dot(vector)
+
+    # -- direct probabilistic form (Eq. 11) ---------------------------------
+
+    def similarity_probabilistic(
+        self, first: Document, second: Document
+    ) -> float:
+        """Direct evaluation of Eq. 11; an oracle for testing Eq. 16."""
+        if first.length == 0 or second.length == 0:
+            return 0.0
+        stats = self.statistics
+        pr_i = stats.pr_document(first.doc_id)
+        pr_j = stats.pr_document(second.doc_id)
+        total = 0.0
+        # iterate the shorter document's terms
+        small, large = first, second
+        if len(small.term_counts) > len(large.term_counts):
+            small, large = large, small
+        for term_id, f_small in small.term_counts.items():
+            f_large = large.term_counts.get(term_id)
+            if not f_large:
+                continue
+            pr_t = stats.pr_term(term_id)
+            if pr_t <= 0.0:
+                continue
+            total += f_small * f_large / pr_t
+        return pr_i * pr_j * total / (first.length * second.length)
+
+    # -- batch helpers --------------------------------------------------------
+
+    def pairwise_matrix(
+        self, documents: Iterable[Document]
+    ) -> Dict[str, Dict[str, float]]:
+        """Dense pairwise similarity table keyed by doc id (small inputs)."""
+        docs = list(documents)
+        matrix: Dict[str, Dict[str, float]] = {d.doc_id: {} for d in docs}
+        for i, first in enumerate(docs):
+            for second in docs[i:]:
+                value = self.similarity(first, second)
+                matrix[first.doc_id][second.doc_id] = value
+                matrix[second.doc_id][first.doc_id] = value
+        return matrix
+
+    def invalidate(self) -> None:
+        """Drop caches after the underlying statistics changed."""
+        self._vector_cache.clear()
+        self.weighter.invalidate()

@@ -1,0 +1,83 @@
+"""Serialisation of document streams to/from JSON Lines.
+
+The on-disk format keeps raw term counts keyed by *term string* (not id)
+so files are portable across repositories with different vocabularies::
+
+    {"doc_id": "d1", "timestamp": 3.5, "topic_id": "20001",
+     "terms": {"asian": 2, "crisi": 1}, "source": "APW", "title": "..."}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from ..text import Vocabulary
+from .document import Document
+
+PathLike = Union[str, Path]
+
+
+def save_jsonl(
+    documents: Iterable[Document],
+    vocabulary: Vocabulary,
+    path: PathLike,
+) -> int:
+    """Write ``documents`` to ``path`` in JSONL; returns the count written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for doc in documents:
+            record = {
+                "doc_id": doc.doc_id,
+                "timestamp": doc.timestamp,
+                "topic_id": doc.topic_id,
+                "source": doc.source,
+                "title": doc.title,
+                "terms": {
+                    vocabulary.term(term_id): count_
+                    for term_id, count_ in sorted(doc.term_counts.items())
+                },
+            }
+            handle.write(json.dumps(record, ensure_ascii=False) + "\n")
+            count += 1
+    return count
+
+
+def load_jsonl(path: PathLike, vocabulary: Vocabulary) -> List[Document]:
+    """Read documents from a JSONL file produced by :func:`save_jsonl`.
+
+    Term strings are (re)interned into ``vocabulary``, growing it as
+    needed, so a loaded corpus composes with documents ingested live.
+    """
+    documents: List[Document] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{line_number}: invalid JSON: {exc}"
+                ) from exc
+            for required in ("doc_id", "timestamp", "terms"):
+                if required not in record:
+                    raise ValueError(
+                        f"{path}:{line_number}: missing field {required!r}"
+                    )
+            documents.append(
+                Document(
+                    doc_id=record["doc_id"],
+                    timestamp=float(record["timestamp"]),
+                    term_counts={
+                        vocabulary.add(term): int(count)
+                        for term, count in record["terms"].items()
+                    },
+                    topic_id=record.get("topic_id"),
+                    source=record.get("source"),
+                    title=record.get("title"),
+                )
+            )
+    return documents

@@ -1,0 +1,127 @@
+"""Time windows over a chronological document stream.
+
+The paper splits its six-month corpus into six ~30-day windows
+(Section 6.2.1) and triggers one clustering per window. A
+:class:`TimeWindow` is a half-open interval ``[start, end)`` in
+fractional days plus the documents that fall inside it.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from ..exceptions import ConfigurationError
+from .document import Document
+
+
+@dataclass(frozen=True)
+class TimeWindow:
+    """A half-open time interval ``[start, end)`` with its documents."""
+
+    index: int
+    start: float
+    end: float
+    documents: Sequence[Document]
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ConfigurationError(
+                f"window end ({self.end}) must be after start ({self.start})"
+            )
+        for doc in self.documents:
+            if not self.start <= doc.timestamp < self.end:
+                raise ConfigurationError(
+                    f"document {doc.doc_id!r} at t={doc.timestamp} outside "
+                    f"window [{self.start}, {self.end})"
+                )
+
+    @property
+    def span_days(self) -> float:
+        return self.end - self.start
+
+    def __len__(self) -> int:
+        return len(self.documents)
+
+    def topic_ids(self) -> List[str]:
+        """Distinct ground-truth topic ids present, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for doc in self.documents:
+            if doc.topic_id is not None:
+                seen.setdefault(doc.topic_id, None)
+        return list(seen)
+
+    def topic_sizes(self) -> Dict[str, int]:
+        """``topic_id -> number of documents`` for labelled documents."""
+        sizes: Dict[str, int] = {}
+        for doc in self.documents:
+            if doc.topic_id is not None:
+                sizes[doc.topic_id] = sizes.get(doc.topic_id, 0) + 1
+        return sizes
+
+    def statistics(self) -> Dict[str, float]:
+        """Table 2-style summary: docs, topics, min/max/median/mean size."""
+        sizes = sorted(self.topic_sizes().values())
+        if not sizes:
+            return {
+                "documents": len(self.documents),
+                "topics": 0,
+                "min_topic_size": 0,
+                "max_topic_size": 0,
+                "median_topic_size": 0.0,
+                "mean_topic_size": 0.0,
+            }
+        return {
+            "documents": len(self.documents),
+            "topics": len(sizes),
+            "min_topic_size": sizes[0],
+            "max_topic_size": sizes[-1],
+            "median_topic_size": float(statistics.median(sizes)),
+            "mean_topic_size": sum(sizes) / len(sizes),
+        }
+
+
+def split_into_windows(
+    documents: Iterable[Document],
+    window_days: float,
+    origin: float = 0.0,
+    end: float = None,
+) -> List[TimeWindow]:
+    """Partition ``documents`` into consecutive fixed-width windows.
+
+    Documents are bucketed by ``floor((t - origin) / window_days)``.
+    Windows are produced contiguously from ``origin`` through the last
+    document (or ``end`` when given), including empty ones, so window
+    indexes always correspond to calendar position.
+    """
+    if window_days <= 0:
+        raise ConfigurationError(f"window_days must be > 0, got {window_days}")
+    docs = sorted(documents, key=lambda d: d.timestamp)
+    if not docs:
+        return []
+    last_time = docs[-1].timestamp if end is None else end
+    count = max(1, int((last_time - origin) / window_days) + 1)
+    if end is not None and (end - origin) / window_days == int(
+        (end - origin) / window_days
+    ):
+        # end falls exactly on a boundary: it opens no new window
+        count = max(1, int((end - origin) / window_days))
+    buckets: List[List[Document]] = [[] for _ in range(count)]
+    for doc in docs:
+        index = int((doc.timestamp - origin) / window_days)
+        if index < 0 or index >= count:
+            raise ConfigurationError(
+                f"document {doc.doc_id!r} at t={doc.timestamp} outside "
+                f"[{origin}, {origin + count * window_days})"
+            )
+        buckets[index].append(doc)
+    return [
+        TimeWindow(
+            index=i,
+            start=origin + i * window_days,
+            end=origin + (i + 1) * window_days,
+            documents=tuple(bucket),
+        )
+        for i, bucket in enumerate(buckets)
+    ]

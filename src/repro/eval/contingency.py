@@ -1,0 +1,93 @@
+"""The paper's Table 3 contingency table and derived measures.
+
+For one (cluster, topic) pair over a document set:
+
+====================  =========  ==============
+\\                     On topic   Not on topic
+====================  =========  ==============
+In cluster            ``a``      ``b``
+Not in cluster        ``c``      ``d``
+====================  =========  ==============
+
+* precision ``p = a / (a + b)``
+* recall    ``r = a / (a + c)``
+* ``F1 = 2rp / (r + p) = 2a / (2a + b + c)``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet
+
+from .._validation import require_non_negative_int
+
+
+@dataclass(frozen=True)
+class ContingencyTable:
+    """Counts ``a, b, c, d`` for one cluster-topic pair (paper Table 3)."""
+
+    a: int
+    b: int
+    c: int
+    d: int
+
+    def __post_init__(self) -> None:
+        for name in ("a", "b", "c", "d"):
+            require_non_negative_int(name, getattr(self, name))
+
+    @classmethod
+    def from_sets(
+        cls,
+        cluster: AbstractSet[str],
+        topic: AbstractSet[str],
+        total: int,
+    ) -> "ContingencyTable":
+        """Build from the cluster and topic membership sets.
+
+        ``total`` is the number of documents under evaluation (labelled
+        documents of the window); it only affects ``d``.
+        """
+        a = len(cluster & topic)
+        b = len(cluster) - a
+        c = len(topic) - a
+        d = total - a - b - c
+        if d < 0:
+            raise ValueError(
+                f"total={total} smaller than |cluster ∪ topic|={a + b + c}"
+            )
+        return cls(a=a, b=b, c=c, d=d)
+
+    @property
+    def precision(self) -> float:
+        """``p = a/(a+b)``; 0.0 for an empty cluster."""
+        denom = self.a + self.b
+        return self.a / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        """``r = a/(a+c)``; 0.0 for an empty topic."""
+        denom = self.a + self.c
+        return self.a / denom if denom else 0.0
+
+    @property
+    def f1(self) -> float:
+        """``F1 = 2a/(2a+b+c)``; 0.0 when undefined."""
+        denom = 2 * self.a + self.b + self.c
+        return 2 * self.a / denom if denom else 0.0
+
+    def merged(self, other: "ContingencyTable") -> "ContingencyTable":
+        """Cell-wise sum — the paper's micro-average merging step."""
+        return ContingencyTable(
+            a=self.a + other.a,
+            b=self.b + other.b,
+            c=self.c + other.c,
+            d=self.d + other.d,
+        )
+
+    @classmethod
+    def empty(cls) -> "ContingencyTable":
+        return cls(0, 0, 0, 0)
+
+    @property
+    def total(self) -> int:
+        return self.a + self.b + self.c + self.d

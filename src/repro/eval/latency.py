@@ -1,0 +1,145 @@
+"""Detection latency: how quickly does the monitor surface a new topic?
+
+The paper's goal — "present an overview of the current trend of hot
+topics" — is about *timeliness*, which neither F1 nor the per-window
+detection probes quantify. This module measures it directly on an
+on-line run: for every topic, the delay between its first document's
+arrival and the first snapshot whose marked clusters carry the topic.
+
+Usage::
+
+    recorder = DetectionRecorder(truth)
+    for at_time, batch in iter_batches(docs, 1.0):
+        result = clusterer.process_batch(batch, at_time=at_time)
+        recorder.observe(result.clusters, at_time)
+    report = recorder.report(first_arrivals(docs))
+    report.mean_latency, report.detected_fraction
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..corpus.document import Document
+from .matching import DEFAULT_PRECISION_THRESHOLD, mark_clusters
+
+
+@dataclass(frozen=True)
+class TopicLatency:
+    """Detection outcome for one topic."""
+
+    topic_id: str
+    first_arrival: float
+    detected_at: Optional[float]   # None = never surfaced
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Days from first document to first detection; None if missed."""
+        if self.detected_at is None:
+            return None
+        return self.detected_at - self.first_arrival
+
+
+@dataclass(frozen=True)
+class LatencyReport:
+    """Aggregate over all topics with known arrivals."""
+
+    topics: Tuple[TopicLatency, ...]
+
+    @property
+    def detected(self) -> List[TopicLatency]:
+        return [t for t in self.topics if t.detected_at is not None]
+
+    @property
+    def detected_fraction(self) -> float:
+        if not self.topics:
+            return 0.0
+        return len(self.detected) / len(self.topics)
+
+    @property
+    def mean_latency(self) -> Optional[float]:
+        """Mean latency over *detected* topics; None if nothing was."""
+        detected = self.detected
+        if not detected:
+            return None
+        return sum(t.latency for t in detected) / len(detected)
+
+    @property
+    def median_latency(self) -> Optional[float]:
+        detected = sorted(t.latency for t in self.detected)
+        if not detected:
+            return None
+        middle = len(detected) // 2
+        if len(detected) % 2:
+            return detected[middle]
+        return (detected[middle - 1] + detected[middle]) / 2.0
+
+    def latency_of(self, topic_id: str) -> Optional[float]:
+        for topic in self.topics:
+            if topic.topic_id == topic_id:
+                return topic.latency
+        raise KeyError(topic_id)
+
+
+def first_arrivals(documents: Sequence[Document]) -> Dict[str, float]:
+    """Earliest timestamp per ground-truth topic."""
+    arrivals: Dict[str, float] = {}
+    for doc in documents:
+        if doc.topic_id is None:
+            continue
+        if (doc.topic_id not in arrivals
+                or doc.timestamp < arrivals[doc.topic_id]):
+            arrivals[doc.topic_id] = doc.timestamp
+    return arrivals
+
+
+class DetectionRecorder:
+    """Track the first snapshot each topic appears as a marked cluster.
+
+    ``truth`` maps doc ids to topic ids for every document the stream
+    will ever contain (used for marking, which needs topic sizes);
+    ``threshold`` is the paper's marking precision.
+    """
+
+    def __init__(
+        self,
+        truth: Mapping[str, Optional[str]],
+        threshold: float = DEFAULT_PRECISION_THRESHOLD,
+    ) -> None:
+        self.truth = dict(truth)
+        self.threshold = threshold
+        self._detected_at: Dict[str, float] = {}
+        self._last_time: Optional[float] = None
+
+    def observe(
+        self, clusters: Sequence[Sequence[str]], at_time: float
+    ) -> List[str]:
+        """Record one snapshot; returns topics newly detected now."""
+        if self._last_time is not None and at_time <= self._last_time:
+            raise ValueError(
+                f"snapshots must advance in time: {at_time} after "
+                f"{self._last_time}"
+            )
+        self._last_time = at_time
+        fresh: List[str] = []
+        for marked in mark_clusters(clusters, self.truth, self.threshold):
+            topic = marked.topic_id
+            if topic is not None and topic not in self._detected_at:
+                self._detected_at[topic] = at_time
+                fresh.append(topic)
+        return fresh
+
+    def report(
+        self, arrivals: Mapping[str, float]
+    ) -> LatencyReport:
+        """Build the report for every topic in ``arrivals``."""
+        topics = tuple(
+            TopicLatency(
+                topic_id=topic_id,
+                first_arrival=arrival,
+                detected_at=self._detected_at.get(topic_id),
+            )
+            for topic_id, arrival in sorted(arrivals.items())
+        )
+        return LatencyReport(topics=topics)

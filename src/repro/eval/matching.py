@@ -1,0 +1,156 @@
+"""Cluster -> topic marking (paper Section 6.2.3).
+
+"We determine a cluster is marked with a topic if the precision of the
+topic in the cluster is equal or greater than 0.60. If a cluster has no
+precision larger than 0.60, then the cluster is not marked with any
+topic."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .contingency import ContingencyTable
+
+#: The paper's marking threshold.
+DEFAULT_PRECISION_THRESHOLD = 0.60
+
+
+@dataclass(frozen=True)
+class MarkedCluster:
+    """One cluster's evaluation outcome.
+
+    ``topic_id`` is ``None`` when the cluster failed the precision
+    threshold (unmarked clusters are excluded from the averages, per the
+    paper). ``table`` is against the best-precision topic regardless,
+    so unmarked clusters remain inspectable.
+    """
+
+    cluster_id: int
+    size: int
+    topic_id: Optional[str]
+    best_topic_id: Optional[str]
+    table: ContingencyTable
+
+    @property
+    def is_marked(self) -> bool:
+        return self.topic_id is not None
+
+    @property
+    def precision(self) -> float:
+        return self.table.precision
+
+    @property
+    def recall(self) -> float:
+        return self.table.recall
+
+    @property
+    def f1(self) -> float:
+        return self.table.f1
+
+
+def topic_membership(
+    truth: Mapping[str, Optional[str]]
+) -> Dict[str, frozenset]:
+    """Invert ``doc_id -> topic_id`` into ``topic_id -> {doc_ids}``."""
+    members: Dict[str, set] = {}
+    for doc_id, topic_id in truth.items():
+        if topic_id is not None:
+            members.setdefault(topic_id, set()).add(doc_id)
+    return {topic: frozenset(docs) for topic, docs in members.items()}
+
+
+def mark_clusters(
+    clusters: Sequence[Sequence[str]],
+    truth: Mapping[str, Optional[str]],
+    threshold: float = DEFAULT_PRECISION_THRESHOLD,
+) -> List[MarkedCluster]:
+    """Mark each non-empty cluster with its best topic when p >= threshold.
+
+    Parameters
+    ----------
+    clusters:
+        Cluster member-id sequences (empty clusters are skipped).
+    truth:
+        ``doc_id -> topic_id`` for the documents under evaluation;
+        unlabelled documents (``topic_id is None``) count only against
+        precision.
+    threshold:
+        Marking precision threshold (paper: 0.60).
+
+    Returns one :class:`MarkedCluster` per non-empty cluster, in cluster
+    order. Clusters whose best precision falls below ``threshold`` get
+    ``topic_id=None`` but keep their best-topic table for inspection.
+    """
+    topics = topic_membership(truth)
+    total = sum(1 for topic_id in truth.values() if topic_id is not None)
+    marked: List[MarkedCluster] = []
+    for cluster_id, members in enumerate(clusters):
+        if not members:
+            continue
+        member_set = frozenset(members)
+        best = _best_topic(member_set, truth, topics, total)
+        if best is None:
+            table = ContingencyTable(
+                a=0, b=len(member_set), c=0, d=total
+            )
+            marked.append(
+                MarkedCluster(
+                    cluster_id=cluster_id,
+                    size=len(member_set),
+                    topic_id=None,
+                    best_topic_id=None,
+                    table=table,
+                )
+            )
+            continue
+        best_topic, table = best
+        marked.append(
+            MarkedCluster(
+                cluster_id=cluster_id,
+                size=len(member_set),
+                topic_id=best_topic if table.precision >= threshold else None,
+                best_topic_id=best_topic,
+                table=table,
+            )
+        )
+    return marked
+
+
+def _best_topic(
+    member_set: frozenset,
+    truth: Mapping[str, Optional[str]],
+    topics: Mapping[str, frozenset],
+    total: int,
+) -> Optional[Tuple[str, ContingencyTable]]:
+    """Return the topic with the highest precision in this cluster.
+
+    Precision ties are broken by recall, then lexical topic id, so the
+    marking is deterministic.
+    """
+    counts: Dict[str, int] = {}
+    for doc_id in member_set:
+        topic_id = truth.get(doc_id)
+        if topic_id is not None:
+            counts[topic_id] = counts.get(topic_id, 0) + 1
+    if not counts:
+        return None
+    size = len(member_set)
+    best_topic = None
+    best_key: Tuple[float, float, str] = (-1.0, -1.0, "")
+    for topic_id, overlap in counts.items():
+        precision = overlap / size
+        recall = overlap / len(topics[topic_id])
+        key = (precision, recall, topic_id)
+        if key > best_key:
+            best_key = key
+            best_topic = topic_id
+    assert best_topic is not None
+    # ``total`` counts labelled docs only; a cluster may also hold
+    # unlabelled docs, so widen the universe to keep d >= 0.
+    universe = max(total, len(member_set | topics[best_topic]))
+    table = ContingencyTable.from_sets(
+        member_set, topics[best_topic], universe
+    )
+    return best_topic, table

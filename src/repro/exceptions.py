@@ -1,0 +1,45 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+catching unrelated bugs::
+
+    try:
+        clusterer.process_window(window)
+    except repro.ReproError as exc:
+        log.error("clustering failed: %s", exc)
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid parameter value was supplied (e.g. ``beta <= 0``)."""
+
+
+class EmptyCorpusError(ReproError):
+    """An operation required documents but the corpus/window was empty."""
+
+
+class UnknownDocumentError(ReproError, KeyError):
+    """A document id was referenced that the repository does not hold."""
+
+
+class DuplicateDocumentError(ReproError, ValueError):
+    """A document id was added twice to the same repository."""
+
+
+class ClusteringError(ReproError):
+    """The clustering procedure could not run (e.g. fewer docs than K)."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A result was requested before the producing computation ran."""
+
+
+class VocabularyFrozenError(ReproError, RuntimeError):
+    """A term was added to a vocabulary after it was frozen."""

@@ -1,0 +1,40 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+* :mod:`repro.experiments.experiment1` — Table 1 (incremental vs
+  non-incremental computation time).
+* :mod:`repro.experiments.experiment2` — Tables 2 & 4 and the data
+  behind Figures 1-4 (per-window clustering quality at β = 7 vs 30).
+* :mod:`repro.experiments.figures` — ASCII rendering of the paper's
+  figures (per-cluster precision/recall charts; topic histograms).
+* :mod:`repro.experiments.reporting` — plain-text table rendering.
+"""
+
+from .reporting import render_table
+from .experiment1 import ExperimentOneConfig, ExperimentOneResult, run_experiment1
+from .experiment2 import (
+    ExperimentTwoConfig,
+    ExperimentTwoResult,
+    WindowRun,
+    run_experiment2,
+    run_window,
+)
+from .figures import (
+    precision_recall_chart,
+    render_histogram,
+    topic_histogram,
+)
+
+__all__ = [
+    "render_table",
+    "ExperimentOneConfig",
+    "ExperimentOneResult",
+    "run_experiment1",
+    "ExperimentTwoConfig",
+    "ExperimentTwoResult",
+    "WindowRun",
+    "run_experiment2",
+    "run_window",
+    "topic_histogram",
+    "render_histogram",
+    "precision_recall_chart",
+]

@@ -1,0 +1,104 @@
+"""ASCII renderings of the paper's figures.
+
+* Figures 1-4: per-cluster precision/recall bars for one window
+  (:func:`precision_recall_chart`).
+* Figures 5-9: per-topic document histograms over the stream
+  (:func:`topic_histogram` + :func:`render_histogram`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence
+
+from ..corpus.document import Document
+from ..eval.metrics import WindowEvaluation
+
+
+def topic_histogram(
+    documents: Iterable[Document],
+    topic_id: str,
+    bin_days: float = 7.0,
+    total_days: Optional[float] = None,
+) -> List[int]:
+    """Document counts of ``topic_id`` per ``bin_days``-wide bin.
+
+    This regenerates the data behind the paper's Figures 5-9 (weekly
+    histograms of topics 20074, 20077, 20078, 20001, 20002).
+    """
+    if bin_days <= 0:
+        raise ValueError(f"bin_days must be > 0, got {bin_days}")
+    docs = [doc for doc in documents if doc.topic_id == topic_id]
+    horizon = total_days
+    if horizon is None:
+        horizon = max((doc.timestamp for doc in docs), default=0.0) + 1e-9
+    n_bins = max(1, int(math.ceil(horizon / bin_days)))
+    counts = [0] * n_bins
+    for doc in docs:
+        index = min(int(doc.timestamp / bin_days), n_bins - 1)
+        counts[index] += 1
+    return counts
+
+
+def render_histogram(
+    counts: Sequence[int],
+    title: str = "",
+    width: int = 50,
+    bin_label: str = "week",
+) -> str:
+    """Horizontal ASCII bar chart of ``counts``.
+
+    >>> print(render_histogram([2, 5], title="demo", width=5))
+    demo
+    week  1 | ##    2
+    week  2 | ##### 5
+    """
+    peak = max(counts) if counts else 0
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for index, count in enumerate(counts):
+        bar = "#" * (
+            int(round(count / peak * width)) if peak else 0
+        )
+        lines.append(
+            f"{bin_label} {index + 1:2d} | {bar.ljust(width)} {count}"
+        )
+    return "\n".join(lines)
+
+
+def precision_recall_chart(
+    evaluation: WindowEvaluation,
+    width: int = 25,
+    include_unmarked: bool = False,
+) -> str:
+    """Per-cluster precision/recall bars (the paper's Figures 1-4).
+
+    Marked clusters show their topic id; unmarked ones (included only
+    when ``include_unmarked``) show the best topic in brackets.
+    """
+    lines: List[str] = [
+        "cluster  topic      size  precision" + " " * (width - 8)
+        + "recall",
+    ]
+    for cluster in evaluation.clusters:
+        if not cluster.is_marked and not include_unmarked:
+            continue
+        topic = (
+            cluster.topic_id if cluster.is_marked
+            else f"[{cluster.best_topic_id or '-'}]"
+        )
+        p_bar = "#" * int(round(cluster.precision * width))
+        r_bar = "#" * int(round(cluster.recall * width))
+        lines.append(
+            f"{cluster.cluster_id:7d}  {str(topic):9s} {cluster.size:5d} "
+            f"{p_bar.ljust(width)} {cluster.precision:.2f}  "
+            f"{r_bar.ljust(width)} {cluster.recall:.2f}"
+        )
+    marked = evaluation.marked
+    lines.append(
+        f"marked clusters: {len(marked)}; "
+        f"micro F1 {evaluation.micro_f1:.2f}, "
+        f"macro F1 {evaluation.macro_f1:.2f}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Plain-text table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned monospace table.
+
+    >>> print(render_table(["a", "b"], [[1, "x"], [22, "yy"]]))
+    a  | b
+    ---+---
+    1  | x
+    22 | yy
+    """
+    str_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip()
+    )
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(
+            " | ".join(
+                cell.ljust(widths[i]) for i, cell in enumerate(row)
+            ).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def format_seconds(seconds: float) -> str:
+    """``95.0 -> '1min35sec'`` — the paper's Table 1 time format.
+
+    Sub-minute durations keep decimals (modern hardware runs the
+    paper-scale workload in well under a minute).
+    """
+    if seconds < 60.0:
+        return f"{seconds:.3f}sec" if seconds < 10.0 else f"{seconds:.1f}sec"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    return f"{minutes}min{secs:02d}sec"

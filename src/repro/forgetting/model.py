@@ -1,0 +1,99 @@
+"""The document forgetting model (paper Section 3, Eq. 1-2).
+
+A document acquired at time ``T`` has weight ``dw = λ^(τ - T)`` at time
+``τ``. The user parameterises the model by the **half-life span** ``β``
+(days until a document loses half its weight, so ``λ = exp(-ln2 / β)``)
+and the **life span** ``γ`` (days until a document is expired entirely,
+so the expiry threshold is ``ε = λ^γ``; Section 5.2 step 2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from .._validation import require_positive
+from ..exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ForgettingModel:
+    """Exponential-decay document weighting.
+
+    Parameters
+    ----------
+    half_life:
+        ``β`` in days: period after which a document's weight halves.
+    life_span:
+        ``γ`` in days: period after which a document is dropped from the
+        active set. Must be >= ``half_life`` to be meaningful (a document
+        should live at least one half-life); pass ``None`` for no expiry.
+
+    >>> model = ForgettingModel(half_life=7.0, life_span=14.0)
+    >>> round(model.decay_factor, 4)
+    0.9057
+    >>> round(model.epsilon, 4)
+    0.25
+    >>> round(model.weight(acquired_at=0.0, now=7.0), 12)
+    0.5
+    """
+
+    half_life: float
+    life_span: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        require_positive("half_life", self.half_life)
+        if self.life_span is not None:
+            require_positive("life_span", self.life_span)
+            if self.life_span < self.half_life:
+                raise ConfigurationError(
+                    f"life_span ({self.life_span}) must be >= "
+                    f"half_life ({self.half_life})"
+                )
+
+    @property
+    def decay_factor(self) -> float:
+        """``λ = exp(-ln 2 / β)`` — per-day weight multiplier (Eq. 2)."""
+        return math.exp(-math.log(2.0) / self.half_life)
+
+    @property
+    def epsilon(self) -> float:
+        """Expiry threshold ``ε = λ^γ``; 0.0 when expiry is disabled."""
+        if self.life_span is None:
+            return 0.0
+        return self.decay_factor ** self.life_span
+
+    def weight(self, acquired_at: float, now: float) -> float:
+        """``dw = λ^(now - acquired_at)`` (Eq. 1). Requires ``now >= T``."""
+        if now < acquired_at:
+            raise ConfigurationError(
+                f"now ({now}) must be >= acquisition time ({acquired_at})"
+            )
+        return self.decay_factor ** (now - acquired_at)
+
+    def decay_over(self, delta_days: float) -> float:
+        """``λ^Δτ`` — the multiplier applied by an update of ``Δτ`` days."""
+        if delta_days < 0:
+            raise ConfigurationError(
+                f"delta_days must be >= 0, got {delta_days}"
+            )
+        return self.decay_factor ** delta_days
+
+    def is_expired(self, weight: float) -> bool:
+        """True when ``weight`` has fallen strictly below ``ε``."""
+        if self.life_span is None:
+            return False
+        return weight < self.epsilon
+
+    @classmethod
+    def from_decay_factor(
+        cls, decay_factor: float, life_span: Optional[float] = None
+    ) -> "ForgettingModel":
+        """Build from ``λ`` directly (must satisfy ``0 < λ < 1``)."""
+        if not 0.0 < decay_factor < 1.0:
+            raise ConfigurationError(
+                f"decay_factor must be in (0, 1), got {decay_factor}"
+            )
+        half_life = -math.log(2.0) / math.log(decay_factor)
+        return cls(half_life=half_life, life_span=life_span)

@@ -1,0 +1,331 @@
+"""Incremental corpus statistics (paper Sections 3 and 5.1).
+
+:class:`CorpusStatistics` maintains, under exponential decay:
+
+* per-document weights ``dw_i = λ^(τ - T_i)`` (Eq. 1, updated per Eq. 27),
+* the total weight ``tdw = Σ dw_i`` (Eq. 3, updated per Eq. 28),
+* selection probabilities ``Pr(d_i) = dw_i / tdw`` (Eq. 4 / 29),
+* term masses ``S_k = Σ_i dw_i · f_ik / len_i`` so that term occurrence
+  probabilities ``Pr(t_k) = S_k / tdw`` (Eq. 10) and novelty idf weights
+  ``idf_k = 1 / sqrt(Pr(t_k))`` (Eq. 14) are O(1) to query.
+
+Two update paths exist and must agree (a hypothesis test asserts this):
+
+* the **incremental** path (``advance_to`` + ``observe`` + ``expire``),
+  which costs O(existing docs) for the decay multiply plus O(new doc
+  terms) for insertions — the paper's Section 5.1;
+* the **from-scratch** path (:meth:`CorpusStatistics.from_scratch`),
+  which recomputes every statistic by a full pass — the paper's
+  non-incremental baseline in Experiment 1.
+
+Implementation note: per-document weights are decayed eagerly (an O(m)
+multiply, exactly as the paper describes), but the *term* masses use a
+single global scale factor — multiplying one scalar replaces touching
+every vocabulary entry. The scale is folded back into the raw table
+when it threatens underflow.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..corpus.document import Document
+from ..exceptions import (
+    ConfigurationError,
+    EmptyCorpusError,
+    UnknownDocumentError,
+)
+from .model import ForgettingModel
+
+_SCALE_FLOOR = 1e-150
+
+
+class CorpusStatistics:
+    """Time-decayed corpus statistics with incremental maintenance."""
+
+    def __init__(self, model: ForgettingModel) -> None:
+        self.model = model
+        self._now: Optional[float] = None
+        self._docs: Dict[str, Document] = {}
+        self._dw: Dict[str, float] = {}
+        self._tdw = 0.0
+        self._term_mass_raw: Dict[int, float] = {}
+        self._term_scale = 1.0
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_scratch(
+        cls,
+        model: ForgettingModel,
+        documents: Iterable[Document],
+        at_time: float,
+    ) -> "CorpusStatistics":
+        """Non-incremental rebuild: recompute every statistic in one pass.
+
+        This is the baseline the paper's Experiment 1 times against the
+        incremental path. Documents whose weight at ``at_time`` falls
+        below ``ε`` are excluded (expiry applied during the rebuild).
+        """
+        stats = cls(model)
+        stats._now = float(at_time)
+        for doc in documents:
+            weight = model.weight(doc.timestamp, at_time)
+            if model.is_expired(weight):
+                continue
+            stats._insert(doc, weight)
+        return stats
+
+    def clone(self) -> "CorpusStatistics":
+        """Deep copy (documents are shared; they are immutable)."""
+        other = CorpusStatistics(self.model)
+        other._now = self._now
+        other._docs = dict(self._docs)
+        other._dw = dict(self._dw)
+        other._tdw = self._tdw
+        other._term_mass_raw = dict(self._term_mass_raw)
+        other._term_scale = self._term_scale
+        return other
+
+    # -- clock -------------------------------------------------------------
+
+    @property
+    def now(self) -> Optional[float]:
+        """Current clock ``τ`` in days; ``None`` before the first update."""
+        return self._now
+
+    def advance_to(self, time: float) -> float:
+        """Decay all statistics to ``time``; returns the multiplier λ^Δτ.
+
+        Per Eq. 27-28 the decay is a single multiplication per document
+        weight and one for ``tdw``; term masses decay through the global
+        scale factor.
+        """
+        if self._now is None:
+            self._now = float(time)
+            return 1.0
+        if time < self._now:
+            raise ConfigurationError(
+                f"cannot advance clock backwards: now={self._now}, "
+                f"requested {time}"
+            )
+        factor = self.model.decay_over(time - self._now)
+        if factor != 1.0:
+            for doc_id in self._dw:
+                self._dw[doc_id] *= factor
+            self._tdw *= factor
+            if self._term_scale * factor < _SCALE_FLOOR:
+                # fold the old scale *and* this decay into the raw table
+                # before the scalar underflows to 0.0 (a huge time jump
+                # can do that in one step, which would poison every
+                # later insert with a division by zero)
+                self._fold_scale(extra_factor=factor)
+            else:
+                self._term_scale *= factor
+        self._now = float(time)
+        return factor
+
+    def _fold_scale(self, extra_factor: float = 1.0) -> None:
+        scale = self._term_scale * extra_factor
+        self._term_mass_raw = {
+            term_id: mass * scale
+            for term_id, mass in self._term_mass_raw.items()
+            if mass * scale > 0.0
+        }
+        self._term_scale = 1.0
+
+    # -- insertion / removal ------------------------------------------------
+
+    def observe(self, documents: Iterable[Document], at_time: float) -> int:
+        """Advance the clock to ``at_time`` and insert ``documents``.
+
+        Each new document gets ``dw = λ^(at_time - T_i)`` — exactly 1.0
+        when it arrives at the update time, as in the paper's batch
+        model. Returns the number of documents inserted.
+
+        Backdated documents older than the life span are inserted too
+        (expiry is the separate §5.2 step — call :meth:`expire` after,
+        as the pipelines do); only :meth:`from_scratch` applies expiry
+        during construction, because it rebuilds the *active* set.
+        """
+        self.advance_to(at_time)
+        count = 0
+        for doc in documents:
+            if doc.timestamp > at_time:
+                raise ConfigurationError(
+                    f"document {doc.doc_id!r} from the future: "
+                    f"T={doc.timestamp} > τ={at_time}"
+                )
+            self._insert(doc, self.model.weight(doc.timestamp, at_time))
+            count += 1
+        return count
+
+    def _insert(self, doc: Document, weight: float) -> None:
+        if doc.doc_id in self._docs:
+            raise ConfigurationError(
+                f"document {doc.doc_id!r} already tracked"
+            )
+        self._docs[doc.doc_id] = doc
+        self._dw[doc.doc_id] = weight
+        self._tdw += weight
+        if doc.length:
+            inv_scale = weight / (self._term_scale * doc.length)
+            for term_id, count in doc.term_counts.items():
+                self._term_mass_raw[term_id] = (
+                    self._term_mass_raw.get(term_id, 0.0) + count * inv_scale
+                )
+
+    def remove(self, doc_id: str) -> Document:
+        """Remove one document, reversing its statistics contributions."""
+        try:
+            doc = self._docs.pop(doc_id)
+        except KeyError:
+            raise UnknownDocumentError(
+                f"document {doc_id!r} not tracked"
+            ) from None
+        weight = self._dw.pop(doc_id)
+        self._tdw -= weight
+        if self._tdw < 0.0:
+            self._tdw = 0.0
+        if doc.length:
+            inv_scale = weight / (self._term_scale * doc.length)
+            for term_id, count in doc.term_counts.items():
+                mass = self._term_mass_raw.get(term_id)
+                if mass is None:
+                    continue
+                mass -= count * inv_scale
+                if mass <= 0.0:
+                    del self._term_mass_raw[term_id]
+                else:
+                    self._term_mass_raw[term_id] = mass
+        if not self._docs:
+            # clear float residue so an emptied corpus is exactly empty
+            self._tdw = 0.0
+            self._term_mass_raw.clear()
+            self._term_scale = 1.0
+        return doc
+
+    def expire(self) -> List[Document]:
+        """Remove and return all documents with ``dw < ε`` (§5.2 step 2).
+
+        Documents whose weight has underflowed to exactly 0.0 are
+        dropped even when expiry is disabled (``life_span=None``):
+        they carry no probability mass, and keeping them would let
+        ``tdw`` reach 0.0 with documents still "active".
+        """
+        expired_ids = [
+            doc_id for doc_id, weight in self._dw.items()
+            if weight == 0.0 or self.model.is_expired(weight)
+        ]
+        return [self.remove(doc_id) for doc_id in expired_ids]
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self._docs)
+
+    def __len__(self) -> int:
+        return len(self._docs)
+
+    def __contains__(self, doc_id: object) -> bool:
+        return doc_id in self._docs
+
+    def doc_ids(self) -> List[str]:
+        return list(self._docs.keys())
+
+    def documents(self) -> List[Document]:
+        return list(self._docs.values())
+
+    def document(self, doc_id: str) -> Document:
+        try:
+            return self._docs[doc_id]
+        except KeyError:
+            raise UnknownDocumentError(
+                f"document {doc_id!r} not tracked"
+            ) from None
+
+    @property
+    def tdw(self) -> float:
+        """Total document weight ``Σ dw_i`` (Eq. 3)."""
+        return self._tdw
+
+    def dw(self, doc_id: str) -> float:
+        """Weight ``dw_i`` of one document (Eq. 1)."""
+        try:
+            return self._dw[doc_id]
+        except KeyError:
+            raise UnknownDocumentError(
+                f"document {doc_id!r} not tracked"
+            ) from None
+
+    def pr_document(self, doc_id: str) -> float:
+        """Selection probability ``Pr(d_i) = dw_i / tdw`` (Eq. 4)."""
+        if self._tdw <= 0.0:
+            raise EmptyCorpusError("no document weight in the corpus")
+        return self.dw(doc_id) / self._tdw
+
+    def pr_term(self, term_id: int) -> float:
+        """Occurrence probability ``Pr(t_k)`` (Eq. 10); 0.0 if unseen."""
+        if self._tdw <= 0.0:
+            return 0.0
+        mass = self._term_mass_raw.get(term_id, 0.0)
+        if mass <= 0.0:
+            return 0.0
+        return min(1.0, mass * self._term_scale / self._tdw)
+
+    def idf(self, term_id: int) -> float:
+        """Novelty idf ``1 / sqrt(Pr(t_k))`` (Eq. 14); 0.0 if unseen."""
+        pr = self.pr_term(term_id)
+        if pr <= 0.0:
+            return 0.0
+        return 1.0 / math.sqrt(pr)
+
+    def term_ids(self) -> List[int]:
+        """Ids of all terms with positive mass."""
+        return [tid for tid in self._term_mass_raw
+                if self.pr_term(tid) > 0.0]
+
+    def term_probabilities(self) -> Dict[int, float]:
+        """``{term_id: Pr(t_k)}`` for all active terms."""
+        return {tid: self.pr_term(tid) for tid in self._term_mass_raw}
+
+    def weights(self) -> Dict[str, float]:
+        """``{doc_id: dw_i}`` snapshot."""
+        return dict(self._dw)
+
+    def validate(self, rel_tol: float = 1e-6) -> None:
+        """Self-check: stored aggregates match a from-scratch recompute.
+
+        Raises ``AssertionError`` on drift; used by tests and available
+        to callers running very long streams.
+        """
+        expected_tdw = sum(self._dw.values())
+        assert math.isclose(self._tdw, expected_tdw, rel_tol=rel_tol,
+                            abs_tol=1e-12), (
+            f"tdw drift: stored {self._tdw}, expected {expected_tdw}"
+        )
+        expected_mass: Dict[int, float] = {}
+        for doc_id, doc in self._docs.items():
+            if not doc.length:
+                continue
+            weight = self._dw[doc_id]
+            for term_id, count in doc.term_counts.items():
+                expected_mass[term_id] = (
+                    expected_mass.get(term_id, 0.0)
+                    + weight * count / doc.length
+                )
+        for term_id, expected in expected_mass.items():
+            stored = self._term_mass_raw.get(term_id, 0.0) * self._term_scale
+            assert math.isclose(stored, expected, rel_tol=rel_tol,
+                                abs_tol=1e-12), (
+                f"term {term_id} mass drift: stored {stored}, "
+                f"expected {expected}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CorpusStatistics(docs={len(self._docs)}, tdw={self._tdw:.4f}, "
+            f"terms={len(self._term_mass_raw)}, now={self._now})"
+        )

@@ -1,0 +1,187 @@
+"""Checkpoint/restore for the on-line clustering pipeline.
+
+A deployed stream clusterer must survive restarts. The checkpoint
+format exploits the forgetting model's exactness: since every weight is
+``dw = λ^(now - T)``, persisting the model parameters, the clock, the
+active documents and the current assignment is *sufficient* — restoring
+rebuilds statistics bit-equivalent to the live ones (the same guarantee
+the incremental-equals-from-scratch property tests establish).
+
+Format: a single JSON document, versioned::
+
+    {"format": "repro-checkpoint", "version": 1,
+     "model": {"half_life": 7.0, "life_span": 14.0},
+     "kmeans": {"k": 24, "delta": 0.01, ...},
+     "now": 42.0, "warm_start": true,
+     "documents": [{"doc_id": ..., "timestamp": ..., "topic_id": ...,
+                    "source": ..., "title": ..., "terms": {"word": n}}],
+     "assignment": {"doc_id": cluster_id, ...}}
+
+Term counts are keyed by term *string* so checkpoints are portable
+across vocabularies, exactly like :mod:`repro.corpus.loaders`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+from .core.incremental import IncrementalClusterer
+from .corpus.document import Document
+from .exceptions import ReproError
+from .forgetting.model import ForgettingModel
+from .text.vocabulary import Vocabulary
+
+PathLike = Union[str, Path]
+
+_FORMAT = "repro-checkpoint"
+_VERSION = 1
+
+
+class CheckpointError(ReproError):
+    """A checkpoint file is missing fields, corrupt, or wrong version."""
+
+
+def save_checkpoint(
+    clusterer: IncrementalClusterer,
+    vocabulary: Vocabulary,
+    path: PathLike,
+) -> None:
+    """Write ``clusterer``'s full state to ``path`` as JSON.
+
+    ``vocabulary`` must be the vocabulary the clusterer's documents
+    were ingested with (usually ``repository.vocabulary``).
+    """
+    kmeans = clusterer.kmeans
+    statistics = clusterer.statistics
+    state = {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "model": {
+            "half_life": clusterer.model.half_life,
+            "life_span": clusterer.model.life_span,
+        },
+        "kmeans": {
+            "k": kmeans.k,
+            "delta": kmeans.delta,
+            "max_iterations": kmeans.max_iterations,
+            "seed": kmeans.seed,
+            "engine": kmeans.engine,
+            "criterion": kmeans.criterion,
+            "rescue_outliers": kmeans.rescue_outliers,
+        },
+        "warm_start": clusterer.warm_start,
+        "now": statistics.now,
+        "documents": [
+            {
+                "doc_id": doc.doc_id,
+                "timestamp": doc.timestamp,
+                "topic_id": doc.topic_id,
+                "source": doc.source,
+                "title": doc.title,
+                "terms": {
+                    vocabulary.term(term_id): count
+                    for term_id, count in sorted(doc.term_counts.items())
+                },
+            }
+            for doc in statistics.documents()
+        ],
+        "assignment": clusterer.assignments(),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(state, handle, ensure_ascii=False)
+
+
+def load_checkpoint(
+    path: PathLike,
+    vocabulary: Optional[Vocabulary] = None,
+) -> Tuple[IncrementalClusterer, Vocabulary]:
+    """Restore a clusterer (and its vocabulary) from ``path``.
+
+    Pass the live ``vocabulary`` to re-intern terms into an existing
+    repository's id space; with ``None`` a fresh vocabulary is grown.
+    Returns ``(clusterer, vocabulary)``.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            state = json.load(handle)
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(f"{path}: invalid JSON: {exc}") from exc
+
+    if state.get("format") != _FORMAT:
+        raise CheckpointError(
+            f"{path}: not a repro checkpoint "
+            f"(format={state.get('format')!r})"
+        )
+    if state.get("version") != _VERSION:
+        raise CheckpointError(
+            f"{path}: unsupported checkpoint version "
+            f"{state.get('version')!r} (expected {_VERSION})"
+        )
+    for field in ("model", "kmeans", "now", "documents", "assignment"):
+        if field not in state:
+            raise CheckpointError(f"{path}: missing field {field!r}")
+
+    if vocabulary is None:
+        vocabulary = Vocabulary()
+
+    try:
+        model = ForgettingModel(
+            half_life=state["model"]["half_life"],
+            life_span=state["model"]["life_span"],
+        )
+        kmeans_state = state["kmeans"]
+        clusterer = IncrementalClusterer(
+            model,
+            k=kmeans_state["k"],
+            delta=kmeans_state["delta"],
+            max_iterations=kmeans_state["max_iterations"],
+            seed=kmeans_state["seed"],
+            engine=kmeans_state["engine"],
+            warm_start=state.get("warm_start", True),
+            rescue_outliers=kmeans_state.get("rescue_outliers", True),
+        )
+        criterion = kmeans_state.get("criterion", "g")
+        if criterion not in ("g", "avg"):
+            raise CheckpointError(
+                f"{path}: unknown criterion {criterion!r} in checkpoint"
+            )
+        clusterer.kmeans.criterion = criterion
+
+        documents = [
+            Document(
+                doc_id=record["doc_id"],
+                timestamp=float(record["timestamp"]),
+                term_counts={
+                    vocabulary.add(term): int(count)
+                    for term, count in record["terms"].items()
+                },
+                topic_id=record.get("topic_id"),
+                source=record.get("source"),
+                title=record.get("title"),
+            )
+            for record in state["documents"]
+        ]
+    except (KeyError, TypeError) as exc:
+        raise CheckpointError(
+            f"{path}: malformed checkpoint ({exc!r})"
+        ) from exc
+    if state["now"] is None:
+        # checkpoint of a clusterer that never processed a batch
+        if documents:
+            raise CheckpointError(
+                f"{path}: documents present but clock is null"
+            )
+        return clusterer, vocabulary
+    now = float(state["now"])
+    clusterer.statistics.observe(documents, at_time=now)
+    clusterer.statistics.expire()
+
+    active = set(clusterer.statistics.doc_ids())
+    clusterer._assignment = {
+        doc_id: int(cluster_id)
+        for doc_id, cluster_id in state["assignment"].items()
+        if doc_id in active
+    }
+    return clusterer, vocabulary

@@ -1,0 +1,27 @@
+"""Text-processing substrate: tokenisation, stop words, stemming, vocabulary.
+
+The paper clusters raw news text; this subpackage provides the full
+pipeline that turns a document body into a term-frequency mapping:
+
+>>> from repro.text import TextPipeline
+>>> pipeline = TextPipeline()
+>>> pipeline.term_frequencies("Stocks fell sharply; Asian stocks fell.")
+{'stock': 2, 'fell': 2, 'sharpli': 1, 'asian': 1}
+"""
+
+from .tokenizer import Tokenizer, tokenize
+from .stopwords import DEFAULT_STOPWORDS, is_stopword
+from .stemmer import PorterStemmer, stem
+from .vocabulary import Vocabulary
+from .pipeline import TextPipeline
+
+__all__ = [
+    "Tokenizer",
+    "tokenize",
+    "DEFAULT_STOPWORDS",
+    "is_stopword",
+    "PorterStemmer",
+    "stem",
+    "Vocabulary",
+    "TextPipeline",
+]

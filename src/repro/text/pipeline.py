@@ -1,0 +1,85 @@
+"""End-to-end text pipeline: tokenize -> stop-word filter -> stem -> count.
+
+:class:`TextPipeline` is the single entry point used by the corpus layer
+to convert document bodies to term-frequency mappings. All stages are
+pluggable so experiments can e.g. disable stemming.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional
+
+from .stemmer import PorterStemmer
+from .stopwords import DEFAULT_STOPWORDS
+from .tokenizer import Tokenizer
+
+
+class TextPipeline:
+    """Convert raw text to (stemmed) term-frequency dictionaries.
+
+    Parameters
+    ----------
+    tokenizer:
+        Token extractor; defaults to :class:`~repro.text.Tokenizer`.
+    stopwords:
+        Set of surface forms removed *before* stemming. Pass an empty
+        set to keep everything.
+    stemmer:
+        Callable mapping token -> stem. Pass ``None`` to disable
+        stemming.
+    max_ngram:
+        Emit word n-grams up to this length in addition to unigrams
+        (n-grams join stems with ``_``; they are built over contiguous
+        post-filter terms, so a removed stop word breaks the window —
+        "bank of england" yields the bigram ``bank_england``).
+
+    >>> TextPipeline().term_frequencies("The markets rallied; markets rose.")
+    {'market': 2, 'ralli': 1, 'rose': 1}
+    >>> TextPipeline(max_ngram=2).terms("stock market")
+    ['stock', 'market', 'stock_market']
+    """
+
+    def __init__(
+        self,
+        tokenizer: Optional[Tokenizer] = None,
+        stopwords: Optional[FrozenSet[str]] = None,
+        stemmer: Optional[Callable[[str], str]] = PorterStemmer(),
+        max_ngram: int = 1,
+    ) -> None:
+        if not isinstance(max_ngram, int) or max_ngram < 1:
+            raise ValueError(f"max_ngram must be an int >= 1, got {max_ngram!r}")
+        self.tokenizer = tokenizer if tokenizer is not None else Tokenizer()
+        self.stopwords = DEFAULT_STOPWORDS if stopwords is None else stopwords
+        self.stemmer = stemmer
+        self.max_ngram = max_ngram
+
+    def terms(self, text: str) -> List[str]:
+        """Return the processed term sequence for ``text``.
+
+        Unigrams come first in document order, followed by the
+        higher-order n-grams in document order.
+        """
+        unigrams: List[str] = []
+        for token in self.tokenizer.iter_tokens(text):
+            if token in self.stopwords:
+                continue
+            if self.stemmer is not None:
+                token = self.stemmer(token)
+            if token:
+                unigrams.append(token)
+        if self.max_ngram == 1:
+            return unigrams
+        terms = list(unigrams)
+        for n in range(2, self.max_ngram + 1):
+            for start in range(len(unigrams) - n + 1):
+                terms.append("_".join(unigrams[start:start + n]))
+        return terms
+
+    def term_frequencies(self, text: str) -> Dict[str, int]:
+        """Return ``{term: count}`` for ``text`` after all stages."""
+        return dict(Counter(self.terms(text)))
+
+    def batch_term_frequencies(self, texts: Iterable[str]) -> List[Dict[str, int]]:
+        """Vector of :meth:`term_frequencies` over an iterable of texts."""
+        return [self.term_frequencies(text) for text in texts]

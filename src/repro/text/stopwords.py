@@ -1,0 +1,54 @@
+"""English stop-word list for news-wire text.
+
+The list is the classic SMART-derived core plus a handful of news-wire
+artifacts (bylines, wire-service boilerplate). It is exposed as a frozen
+set so callers can extend it safely::
+
+    custom = DEFAULT_STOPWORDS | {"reuters", "apw"}
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+DEFAULT_STOPWORDS: FrozenSet[str] = frozenset(
+    """
+    a about above across after afterwards again against all almost alone
+    along already also although always am among amongst an and another any
+    anybody anyhow anyone anything anyway anywhere are aren't around as at
+    back be became because become becomes becoming been before beforehand
+    behind being below beside besides between beyond both but by came can
+    cannot can't come could couldn't did didn't do does doesn't doing done
+    don't down during each either else elsewhere enough etc even ever every
+    everybody everyone everything everywhere few for former formerly from
+    further get gets getting give given go goes going gone got had hadn't
+    has hasn't have haven't having he her here hereafter hereby herein
+    hereupon hers herself him himself his how however i if in indeed
+    instead into is isn't it its it's itself just keep kept last latter
+    latterly least less let lets like likely made make makes many may maybe
+    me meanwhile might mine more moreover most mostly much must my myself
+    namely neither never nevertheless next no nobody none nonetheless
+    noone nor not nothing now nowhere of off often on once one only onto
+    or other others otherwise our ours ourselves out over own per perhaps
+    put rather re really said same say says see seem seemed seeming seems
+    several she should shouldn't since so some somebody somehow someone
+    something sometime sometimes somewhere still such take taken than that
+    that's the their theirs them themselves then thence there thereafter
+    thereby therefore therein thereupon these they this those though
+    through throughout thru thus to together too toward towards under
+    until up upon us use used uses using very via was wasn't way we well
+    were weren't what whatever when whence whenever where whereafter
+    whereas whereby wherein whereupon wherever whether which while whither
+    who whoever whole whom whose why will with within without won't would
+    wouldn't yes yet you your yours yourself yourselves
+    mr mrs ms dr jr sr vs
+    monday tuesday wednesday thursday friday saturday sunday
+    today yesterday tomorrow
+    """.split()
+)
+"""Frozen default stop-word set (SMART-style core + news-wire extras)."""
+
+
+def is_stopword(token: str) -> bool:
+    """Return ``True`` if ``token`` is in :data:`DEFAULT_STOPWORDS`."""
+    return token in DEFAULT_STOPWORDS

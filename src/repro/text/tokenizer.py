@@ -1,0 +1,79 @@
+"""Word tokenisation for news text.
+
+The tokenizer is intentionally simple and deterministic: it lowercases,
+splits on non-alphanumeric boundaries, keeps internal apostrophes and
+hyphens ("o'brien", "mid-east"), and drops pure numbers shorter than a
+configurable length (years like "1998" survive by default because they
+carry topical signal in news).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List
+
+from .._validation import require_positive_int
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+(?:['\-][a-z0-9]+)*")
+
+
+class Tokenizer:
+    """Configurable word tokenizer.
+
+    Parameters
+    ----------
+    min_length:
+        Tokens shorter than this are discarded (default 2).
+    keep_numbers:
+        When ``False``, tokens consisting solely of digits are dropped.
+    min_number_length:
+        When ``keep_numbers`` is true, all-digit tokens shorter than this
+        are still dropped (defaults to 4, keeping years but not "12").
+    """
+
+    def __init__(
+        self,
+        min_length: int = 2,
+        keep_numbers: bool = True,
+        min_number_length: int = 4,
+    ) -> None:
+        self.min_length = require_positive_int("min_length", min_length)
+        self.keep_numbers = bool(keep_numbers)
+        self.min_number_length = require_positive_int(
+            "min_number_length", min_number_length
+        )
+
+    def tokens(self, text: str) -> List[str]:
+        """Return the list of tokens extracted from ``text``."""
+        return list(self.iter_tokens(text))
+
+    def iter_tokens(self, text: str) -> Iterator[str]:
+        """Yield tokens from ``text`` lazily, in document order."""
+        if not isinstance(text, str):
+            raise TypeError(f"text must be str, got {type(text).__name__}")
+        for match in _TOKEN_RE.finditer(text.lower()):
+            token = match.group(0).strip("'-")
+            if len(token) < self.min_length:
+                continue
+            if token.isdigit():
+                if not self.keep_numbers:
+                    continue
+                if len(token) < self.min_number_length:
+                    continue
+            if token:
+                yield token
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Tokenizer(min_length={self.min_length}, "
+            f"keep_numbers={self.keep_numbers}, "
+            f"min_number_length={self.min_number_length})"
+        )
+
+
+_DEFAULT_TOKENIZER = Tokenizer()
+
+
+def tokenize(text: str) -> List[str]:
+    """Tokenise ``text`` with the default :class:`Tokenizer` settings."""
+    return _DEFAULT_TOKENIZER.tokens(text)

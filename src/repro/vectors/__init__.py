@@ -1,0 +1,6 @@
+"""Sparse vector algebra used by document vectors and cluster representatives."""
+
+from .sparse import SparseVector
+from .tfidf import NoveltyTfidfWeighter
+
+__all__ = ["SparseVector", "NoveltyTfidfWeighter"]

@@ -1,0 +1,114 @@
+"""Novelty tf·idf weighting (paper Eq. 12-16).
+
+The paper represents documents as ``d⃗_i = (tf_i1·idf_1, ..., tf_im·idf_m)``
+with ``tf_ik = f_ik`` and the *novelty idf* ``idf_k = 1/sqrt(Pr(t_k))``
+(Eq. 13-14). The similarity (Eq. 16) is then
+
+    sim(d_i, d_j) = Pr(d_i)·Pr(d_j) · (d⃗_i · d⃗_j) / (len_i · len_j)
+
+which factorises as a plain dot product of **weighted document vectors**
+
+    w⃗_i = (Pr(d_i) / len_i) · d⃗_i          so   sim(d_i, d_j) = w⃗_i · w⃗_j.
+
+That factorisation is exactly what makes the paper's cluster
+representatives work: the representative (Eq. 19-20) is the *sum* of the
+member ``w⃗_i`` vectors. :class:`NoveltyTfidfWeighter` builds both forms
+against a statistics snapshot.
+
+Because ``Pr(t_k)`` and ``Pr(d_i)`` change at every statistics update,
+weighted vectors are valid only for the snapshot they were built from;
+the clustering layer rebuilds them per run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from ..corpus.document import Document
+from ..forgetting.statistics import CorpusStatistics
+from .sparse import SparseVector
+
+
+class NoveltyTfidfWeighter:
+    """Build tf·idf and weighted document vectors from statistics.
+
+    The idf table is captured eagerly at construction so that repeated
+    vector builds within one clustering run are consistent and cheap.
+    """
+
+    def __init__(self, statistics: CorpusStatistics) -> None:
+        self._statistics = statistics
+        self._idf_cache: Dict[int, float] = {}
+
+    @property
+    def statistics(self) -> CorpusStatistics:
+        return self._statistics
+
+    def idf(self, term_id: int) -> float:
+        """Cached ``idf_k = 1/sqrt(Pr(t_k))`` (Eq. 14)."""
+        cached = self._idf_cache.get(term_id)
+        if cached is None:
+            cached = self._statistics.idf(term_id)
+            self._idf_cache[term_id] = cached
+        return cached
+
+    def tfidf_vector(self, document: Document) -> SparseVector:
+        """``d⃗_i`` with components ``tf_ik · idf_k`` (Eq. 12-14)."""
+        return SparseVector({
+            term_id: count * self.idf(term_id)
+            for term_id, count in document.term_counts.items()
+        })
+
+    def weighted_vector(self, document: Document) -> SparseVector:
+        """``w⃗_i = (Pr(d_i)/len_i) · d⃗_i`` — the similarity-carrying form.
+
+        Empty documents produce the zero vector (they are similar to
+        nothing, including themselves).
+        """
+        if document.length == 0:
+            return SparseVector()
+        scale = (
+            self._statistics.pr_document(document.doc_id) / document.length
+        )
+        return SparseVector({
+            term_id: count * self.idf(term_id) * scale
+            for term_id, count in document.term_counts.items()
+        })
+
+    def weighted_vectors(
+        self, documents: Iterable[Document]
+    ) -> Dict[str, SparseVector]:
+        """``{doc_id: w⃗_i}`` for many documents."""
+        return {doc.doc_id: self.weighted_vector(doc) for doc in documents}
+
+    def representative(
+        self,
+        documents: Iterable[Document],
+        normalized: bool = False,
+    ) -> SparseVector:
+        """Cluster representative ``c⃗ = Σ w⃗_d`` over ``documents``
+        (Eq. 19-20), optionally unit-normalised.
+
+        The single construction point used by labeling, tracking and
+        search — the vector whose top components name a cluster and
+        whose cosine links clusters across snapshots.
+        """
+        representative = SparseVector()
+        for doc in documents:
+            representative.add_scaled(self.weighted_vector(doc), 1.0)
+        if normalized:
+            return representative.normalized()
+        return representative
+
+    def cosine_vectors(
+        self, documents: Iterable[Document]
+    ) -> Dict[str, SparseVector]:
+        """Unit-normalised tf·idf vectors (for the classic baselines)."""
+        return {
+            doc.doc_id: self.tfidf_vector(doc).normalized()
+            for doc in documents
+        }
+
+    def invalidate(self) -> None:
+        """Drop the idf cache (call after the statistics were updated)."""
+        self._idf_cache.clear()

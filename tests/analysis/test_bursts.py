@@ -1,0 +1,104 @@
+"""Tests for burst detection on arrival series."""
+
+import pytest
+
+from repro import detect_bursts
+from repro.exceptions import ConfigurationError
+from tests.conftest import make_document
+
+
+def docs_at(times, topic="t"):
+    return [
+        make_document(f"d{i}", t, {0: 1}, topic_id=topic)
+        for i, t in enumerate(times)
+    ]
+
+
+class TestDetectBursts:
+    def test_single_burst_found(self):
+        # background 1/week, burst of 10 in week 3
+        times = [0.5, 7.5, 21.5, 28.5] + [14.0 + 0.1 * i for i in range(10)]
+        bursts = detect_bursts(docs_at(times), bin_days=7.0, threshold=2.0)
+        assert len(bursts) == 1
+        burst = bursts[0]
+        assert burst.start_day == 14.0
+        assert burst.end_day == 21.0
+        assert burst.documents == 10
+        assert burst.intensity > 2.0
+
+    def test_uniform_stream_no_bursts(self):
+        times = [float(i) * 7 + 0.5 for i in range(8)]
+        assert detect_bursts(docs_at(times), bin_days=7.0) == []
+
+    def test_two_separate_bursts(self):
+        times = (
+            [0.5] +
+            [7.0 + 0.1 * i for i in range(8)] +
+            [14.5] +
+            [21.0 + 0.1 * i for i in range(8)] +
+            [28.5, 35.5]
+        )
+        bursts = detect_bursts(docs_at(times), bin_days=7.0, threshold=1.5)
+        assert len(bursts) == 2
+        assert bursts[0].end_day <= bursts[1].start_day
+
+    def test_burst_at_stream_end_closed(self):
+        times = [0.5, 7.5] + [14.0 + 0.1 * i for i in range(9)]
+        bursts = detect_bursts(docs_at(times), bin_days=7.0, threshold=2.0)
+        assert len(bursts) == 1
+        assert bursts[0].documents == 9
+
+    def test_topic_filter(self):
+        docs = docs_at([0.5, 0.6, 0.7], topic="hot") + docs_at(
+            [10.5], topic="cold"
+        )
+        # rename ids to avoid collisions
+        docs = [
+            make_document(f"x{i}", d.timestamp, {0: 1}, topic_id=d.topic_id)
+            for i, d in enumerate(docs)
+        ]
+        bursts_hot = detect_bursts(docs, topic_id="hot", bin_days=1.0,
+                                   threshold=0.5)
+        assert bursts_hot
+        assert detect_bursts(docs, topic_id="absent") == []
+
+    def test_empty_stream(self):
+        assert detect_bursts([]) == []
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            detect_bursts(docs_at([0.0]), bin_days=0.0)
+        with pytest.raises(ConfigurationError):
+            detect_bursts(docs_at([0.0]), threshold=0.0)
+
+    def test_span_property(self):
+        times = [0.5] * 1 + [7.0 + 0.1 * i for i in range(10)] + [14.5]
+        bursts = detect_bursts(docs_at(times), bin_days=7.0, threshold=2.0)
+        assert bursts[0].span_days == 7.0
+
+    def test_paper_figure7_shape(self):
+        """Denmark Strike (Fig. 7): a short burst at the window 4/5
+        boundary of the synthetic corpus must be detected."""
+        from repro import SyntheticCorpusConfig, TDT2Generator
+
+        config = SyntheticCorpusConfig(seed=3)
+        repo = TDT2Generator(config).generate()
+        bursts = detect_bursts(
+            repo.documents(), topic_id="20078", bin_days=7.0,
+            threshold=1.2, total_days=config.total_days,
+        )
+        assert bursts
+        # all activity lives near the day-120 window boundary
+        assert all(100.0 <= b.start_day <= 140.0 for b in bursts)
+
+
+class TestNegativeTimestamps:
+    def test_pre_origin_documents_clamp_to_first_bin(self):
+        """Regression: negative timestamps used to wrap into the FINAL
+        bin via Python negative indexing."""
+        docs = docs_at([-3.0, -2.5, 0.5, 7.5], topic="t")
+        bursts = detect_bursts(docs, bin_days=7.0, threshold=1.2,
+                               total_days=14.0)
+        # the two pre-origin docs land in week 1, not week 2
+        for burst in bursts:
+            assert burst.start_day == 0.0

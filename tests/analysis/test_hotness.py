@@ -1,0 +1,111 @@
+"""Tests for cluster novelty / hot-topic ranking."""
+
+import math
+
+import pytest
+
+from repro import (
+    ClusteringResult,
+    CorpusStatistics,
+    ForgettingModel,
+    cluster_novelty,
+    rank_hot_clusters,
+)
+from repro.analysis import cluster_trend
+from tests.conftest import make_document
+
+
+@pytest.fixture
+def stats():
+    model = ForgettingModel(half_life=2.0)
+    statistics = CorpusStatistics(model)
+    old = [make_document(f"old{i}", 0.0, {0: 1}) for i in range(3)]
+    fresh = [make_document(f"new{i}", 10.0, {1: 1}) for i in range(3)]
+    statistics.observe(old, at_time=0.0)
+    statistics.observe(fresh, at_time=10.0)
+    return statistics
+
+
+def result_for(clusters):
+    return ClusteringResult(
+        clusters=tuple(tuple(c) for c in clusters),
+        outliers=(),
+        clustering_index=0.0,
+        index_history=(),
+        iterations=1,
+        converged=True,
+    )
+
+
+class TestClusterNovelty:
+    def test_fresh_cluster_near_one(self, stats):
+        assert cluster_novelty(["new0", "new1"], stats) == pytest.approx(1.0)
+
+    def test_old_cluster_decayed(self, stats):
+        # age 10, half-life 2 -> dw = 2^-5
+        assert cluster_novelty(["old0", "old1"], stats) == pytest.approx(
+            2 ** -5
+        )
+
+    def test_expired_members_count_zero(self, stats):
+        assert cluster_novelty(["new0", "ghost"], stats) == pytest.approx(0.5)
+
+    def test_empty(self, stats):
+        assert cluster_novelty([], stats) == 0.0
+
+
+class TestClusterTrend:
+    def test_momentum_counts_recent_members(self, stats):
+        trend = cluster_trend(0, ["new0", "new1", "old0"], stats,
+                              recent_days=5.0)
+        assert trend.momentum == pytest.approx(2 / 3)
+        assert trend.size == 3
+
+    def test_mean_age(self, stats):
+        trend = cluster_trend(0, ["new0", "old0"], stats)
+        assert trend.mean_age_days == pytest.approx(5.0)
+
+    def test_weight_mass(self, stats):
+        trend = cluster_trend(0, ["new0", "old0"], stats)
+        assert trend.weight_mass == pytest.approx(1.0 + 2 ** -5)
+
+    def test_hotness_monotone_in_novelty(self, stats):
+        hot = cluster_trend(0, ["new0", "new1"], stats)
+        cold = cluster_trend(1, ["old0", "old1"], stats)
+        assert hot.hotness > cold.hotness
+
+    def test_hotness_size_discount_is_logarithmic(self, stats):
+        small = cluster_trend(0, ["new0", "new1"], stats)
+        # same novelty, larger size -> hotter, but sublinearly
+        big = cluster_trend(1, ["new0", "new1", "new2"], stats)
+        assert big.hotness > small.hotness
+        assert big.hotness / small.hotness < 1.5
+
+
+class TestRankHotClusters:
+    def test_fresh_cluster_ranks_first(self, stats):
+        result = result_for([
+            ["old0", "old1", "old2"],
+            ["new0", "new1", "new2"],
+        ])
+        ranked = rank_hot_clusters(result, stats)
+        assert [t.cluster_id for t in ranked] == [1, 0]
+
+    def test_min_size_filters_singletons(self, stats):
+        result = result_for([["new0"], ["old0", "old1"]])
+        ranked = rank_hot_clusters(result, stats, min_size=2)
+        assert [t.cluster_id for t in ranked] == [1]
+
+    def test_fresh_small_beats_stale_giant(self):
+        model = ForgettingModel(half_life=2.0)
+        statistics = CorpusStatistics(model)
+        giant = [make_document(f"g{i}", 0.0, {0: 1}) for i in range(50)]
+        pair = [make_document(f"p{i}", 20.0, {1: 1}) for i in range(2)]
+        statistics.observe(giant, at_time=0.0)
+        statistics.observe(pair, at_time=20.0)
+        result = result_for([
+            [d.doc_id for d in giant],
+            [d.doc_id for d in pair],
+        ])
+        ranked = rank_hot_clusters(result, statistics)
+        assert ranked[0].cluster_id == 1

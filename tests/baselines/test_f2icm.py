@@ -1,0 +1,73 @@
+"""Tests for the F²ICM predecessor baseline."""
+
+import pytest
+
+from repro import CorpusStatistics, ForgettingModel
+from repro.baselines import F2ICMClusterer
+from repro.exceptions import ClusteringError
+from tests.conftest import build_topic_repository, make_document
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    repo = build_topic_repository(days=5, docs_per_topic_per_day=3, seed=1)
+    model = ForgettingModel(half_life=7.0, life_span=30.0)
+    stats = CorpusStatistics.from_scratch(
+        model, repo.documents(), at_time=5.0
+    )
+    result = F2ICMClusterer(k=4).fit(stats.documents(), stats)
+    return repo, stats, result
+
+
+class TestF2ICM:
+    def test_k_clusters_each_seeded(self, fitted):
+        _, _, result = fitted
+        assert result.k == 4
+        assert all(len(members) >= 1 for members in result.clusters)
+
+    def test_single_pass(self, fitted):
+        _, _, result = fitted
+        assert result.iterations == 1
+        assert result.converged
+
+    def test_coverage(self, fitted):
+        repo, _, result = fitted
+        clustered = {d for members in result.clusters for d in members}
+        assert clustered | set(result.outliers) == set(repo.doc_ids())
+
+    def test_seeds_are_diverse_on_separable_topics(self, fitted):
+        """With 4 well-separated topics and diversity screening, the 4
+        seeds should span at least 3 topics."""
+        repo, _, result = fitted
+        truth = {d.doc_id: d.topic_id for d in repo}
+        seed_topics = {truth[members[0]] for members in result.clusters}
+        assert len(seed_topics) >= 3
+
+    def test_recent_documents_preferred_as_seeds(self):
+        """Seed power is dw-weighted: identical content, different age —
+        the newer document must win the seed slot."""
+        model = ForgettingModel(half_life=2.0)
+        stats = CorpusStatistics(model)
+        old = make_document("old", 0.0, {0: 2, 1: 1})
+        new = make_document("new", 10.0, {0: 2, 1: 1})
+        stats.observe([old], at_time=0.0)
+        stats.observe([new], at_time=10.0)
+        result = F2ICMClusterer(k=1).fit(stats.documents(), stats)
+        assert result.clusters[0][0] == "new"
+
+    def test_fewer_docs_than_k_rejected(self, fitted):
+        _, stats, _ = fitted
+        with pytest.raises(ClusteringError):
+            F2ICMClusterer(k=99).fit(stats.documents()[:3], stats)
+
+    def test_empty_doc_never_seed(self):
+        model = ForgettingModel(half_life=2.0)
+        stats = CorpusStatistics(model)
+        docs = [
+            make_document("real", 0.0, {0: 3}),
+            make_document("void", 0.0, {}),
+        ]
+        stats.observe(docs, at_time=0.0)
+        result = F2ICMClusterer(k=1).fit(docs, stats)
+        assert result.clusters[0][0] == "real"
+        assert "void" in result.outliers

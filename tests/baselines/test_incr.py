@@ -1,0 +1,65 @@
+"""Tests for the INCR single-pass baseline."""
+
+import pytest
+
+from repro.baselines import INCRClusterer
+from repro.exceptions import ClusteringError
+from tests.conftest import build_topic_repository, make_document
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return build_topic_repository(days=5, docs_per_topic_per_day=2, seed=6)
+
+
+class TestINCR:
+    def test_single_pass_covers_everything(self, stream):
+        result = INCRClusterer(threshold=0.3).fit(stream.documents())
+        clustered = {d for members in result.clusters for d in members}
+        assert clustered == set(stream.doc_ids())
+
+    def test_first_document_seeds_first_cluster(self, stream):
+        result = INCRClusterer(threshold=0.3).fit(stream.documents())
+        earliest = min(stream, key=lambda d: (d.timestamp, d.doc_id))
+        assert result.clusters[0][0] == earliest.doc_id
+
+    def test_high_threshold_many_clusters(self, stream):
+        low = INCRClusterer(threshold=0.1).fit(stream.documents())
+        high = INCRClusterer(threshold=0.95).fit(stream.documents())
+        assert len(high.non_empty_clusters()) >= len(
+            low.non_empty_clusters()
+        )
+
+    def test_topic_coherence_at_moderate_threshold(self, stream):
+        result = INCRClusterer(threshold=0.3).fit(stream.documents())
+        truth = {d.doc_id: d.topic_id for d in stream}
+        for members in result.clusters:
+            topics = {truth[m] for m in members}
+            assert len(topics) == 1
+
+    def test_time_window_blocks_stale_clusters(self):
+        """A cluster beyond the document window cannot absorb new docs
+        even with identical content."""
+        docs = [
+            make_document(f"early{i}", float(i), {0: 5}, topic_id="t")
+            for i in range(3)
+        ]
+        docs += [
+            make_document(f"mid{i}", 10.0 + i, {9: 5}, topic_id="u")
+            for i in range(4)
+        ]
+        docs.append(make_document("late", 20.0, {0: 5}, topic_id="t"))
+        result = INCRClusterer(threshold=0.3, window_size=4).fit(docs)
+        late_cluster = next(
+            members for members in result.clusters if "late" in members
+        )
+        assert late_cluster == ("late",)  # forced to seed a new cluster
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ClusteringError):
+            INCRClusterer().fit([])
+
+    def test_empty_documents_are_outliers(self, stream):
+        docs = stream.documents() + [make_document("void", 0.0, {})]
+        result = INCRClusterer(threshold=0.3).fit(docs)
+        assert "void" in result.outliers

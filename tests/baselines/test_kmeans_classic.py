@@ -1,0 +1,66 @@
+"""Tests for the classic spherical K-means baseline."""
+
+import pytest
+
+from repro.baselines import ClassicKMeans
+from repro.exceptions import ClusteringError
+from tests.conftest import build_topic_repository, make_document
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return build_topic_repository(days=5, docs_per_topic_per_day=3, seed=2)
+
+
+class TestClassicKMeans:
+    def test_partitions_all_non_empty_docs(self, stream):
+        result = ClassicKMeans(k=4, seed=0).fit(stream.documents())
+        clustered = {d for members in result.clusters for d in members}
+        assert clustered == set(stream.doc_ids())
+        assert result.outliers == ()
+
+    def test_separates_topics(self, stream):
+        result = ClassicKMeans(k=4, seed=1).fit(stream.documents())
+        truth = {d.doc_id: d.topic_id for d in stream}
+        pure = sum(
+            1 for members in result.clusters
+            if members and len({truth[m] for m in members}) == 1
+        )
+        assert pure >= 3  # at most one mixed cluster on easy data
+
+    def test_deterministic_given_seed(self, stream):
+        docs = stream.documents()
+        first = ClassicKMeans(k=3, seed=7).fit(docs)
+        second = ClassicKMeans(k=3, seed=7).fit(docs)
+        assert first.assignments() == second.assignments()
+
+    def test_objective_non_decreasing(self, stream):
+        result = ClassicKMeans(k=4, seed=3).fit(stream.documents())
+        history = result.index_history
+        for earlier, later in zip(history, history[1:]):
+            assert later >= earlier - 1e-9
+
+    def test_fewer_docs_than_k_rejected(self):
+        docs = [make_document("a", 0.0, {0: 1})]
+        with pytest.raises(ClusteringError):
+            ClassicKMeans(k=3).fit(docs)
+
+    def test_empty_documents_become_outliers(self, stream):
+        docs = stream.documents() + [make_document("void", 1.0, {})]
+        result = ClassicKMeans(k=3, seed=0).fit(docs)
+        assert "void" in result.outliers
+
+    def test_no_time_bias(self):
+        """Classic K-means must treat identical old and new docs alike —
+        the contrast with the novelty method."""
+        docs = []
+        for i in range(6):
+            docs.append(make_document(
+                f"old{i}", 0.0, {0: 3, 1: 1}, topic_id="t1"
+            ))
+            docs.append(make_document(
+                f"new{i}", 50.0, {5: 3, 6: 1}, topic_id="t2"
+            ))
+        result = ClassicKMeans(k=2, seed=0).fit(docs)
+        sizes = sorted(len(c) for c in result.clusters)
+        assert sizes == [6, 6]

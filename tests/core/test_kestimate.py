@@ -1,0 +1,73 @@
+"""Tests for estimate_k (the paper's future-work K estimation)."""
+
+import pytest
+
+from repro import CorpusStatistics, ForgettingModel, estimate_k
+from repro.exceptions import ClusteringError, ConfigurationError
+from tests.conftest import build_topic_repository
+
+
+@pytest.fixture(scope="module")
+def four_topic_stats():
+    repo = build_topic_repository(days=6, docs_per_topic_per_day=3)
+    model = ForgettingModel(half_life=7.0)
+    stats = CorpusStatistics.from_scratch(
+        model, repo.documents(), at_time=6.0
+    )
+    return stats
+
+
+class TestEstimateK:
+    def test_finds_knee_near_topic_count(self, four_topic_stats):
+        stats = four_topic_stats
+        estimate = estimate_k(
+            stats.documents(), stats, candidates=(2, 4, 6, 8, 12),
+            saturation=0.05, seed=1,
+        )
+        # four topics: G should saturate at or just above K=4
+        assert 3 <= estimate.best_k <= 6
+        assert estimate.saturated
+
+    def test_curve_recorded_for_every_candidate(self, four_topic_stats):
+        stats = four_topic_stats
+        estimate = estimate_k(
+            stats.documents(), stats, candidates=(2, 4, 8), seed=1
+        )
+        assert set(estimate.curve) == {2, 4, 8}
+        assert all(g >= 0.0 for g in estimate.curve.values())
+
+    def test_gains_computed_between_consecutive_candidates(
+        self, four_topic_stats
+    ):
+        stats = four_topic_stats
+        estimate = estimate_k(
+            stats.documents(), stats, candidates=(2, 4, 8), seed=1
+        )
+        gains = estimate.gains()
+        assert [k for k, _ in gains] == [4, 8]
+
+    def test_unsaturated_sweep_flagged(self, four_topic_stats):
+        """With only under-K candidates the curve keeps climbing."""
+        stats = four_topic_stats
+        estimate = estimate_k(
+            stats.documents(), stats, candidates=(2, 3),
+            saturation=0.0001, seed=1,
+        )
+        if not estimate.saturated:
+            assert estimate.best_k == 3
+
+    def test_candidate_validation(self, four_topic_stats):
+        stats = four_topic_stats
+        with pytest.raises(ConfigurationError):
+            estimate_k(stats.documents(), stats, candidates=(8,))
+        with pytest.raises(ConfigurationError):
+            estimate_k(stats.documents(), stats, candidates=(8, 4))
+        with pytest.raises(ConfigurationError):
+            estimate_k(stats.documents(), stats, candidates=(4, 8),
+                       saturation=1.5)
+
+    def test_oversized_candidate_rejected(self, four_topic_stats):
+        stats = four_topic_stats
+        with pytest.raises(ClusteringError):
+            estimate_k(stats.documents(), stats,
+                       candidates=(4, 10_000))

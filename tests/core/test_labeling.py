@@ -1,0 +1,142 @@
+"""Tests for cluster labeling."""
+
+import pytest
+
+from repro import (
+    CorpusStatistics,
+    ForgettingModel,
+    NoveltyKMeans,
+    label_clustering,
+)
+from repro.core.labeling import (
+    corpus_term_counts,
+    discriminative_terms,
+    representative_terms,
+)
+from repro.exceptions import ConfigurationError
+from tests.conftest import build_topic_repository
+
+
+@pytest.fixture(scope="module")
+def clustered():
+    repo = build_topic_repository(days=5, docs_per_topic_per_day=3, seed=2)
+    model = ForgettingModel(half_life=7.0)
+    stats = CorpusStatistics.from_scratch(
+        model, repo.documents(), at_time=5.0
+    )
+    result = NoveltyKMeans(k=4, seed=2).fit(stats.documents(), stats)
+    return repo, stats, result
+
+
+class TestRepresentativeTerms:
+    def test_topic_words_dominate(self, clustered):
+        repo, stats, result = clustered
+        truth = {d.doc_id: d.topic_id for d in repo}
+        by_id = {d.doc_id: d for d in repo}
+        for _, member_ids in result.non_empty_clusters():
+            topic = truth[member_ids[0]]
+            members = [by_id[m] for m in member_ids]
+            ranked = representative_terms(
+                members, stats, repo.vocabulary, limit=3
+            )
+            from tests.conftest import TOPIC_VOCABULARY
+            from repro.text import stem
+            topic_stems = {stem(w) for w in TOPIC_VOCABULARY[topic].split()}
+            for term, score in ranked:
+                assert term in topic_stems, (topic, term)
+                assert score > 0.0
+
+    def test_scores_descending(self, clustered):
+        repo, stats, result = clustered
+        by_id = {d.doc_id: d for d in repo}
+        members = [by_id[m] for m in result.non_empty_clusters()[0][1]]
+        ranked = representative_terms(members, stats, repo.vocabulary,
+                                      limit=10)
+        scores = [score for _, score in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_limit_validated(self, clustered):
+        repo, stats, _ = clustered
+        with pytest.raises(ConfigurationError):
+            representative_terms([], stats, repo.vocabulary, limit=0)
+
+
+class TestDiscriminativeTerms:
+    def test_background_words_suppressed(self, clustered):
+        repo, _, result = clustered
+        by_id = {d.doc_id: d for d in repo}
+        counts = corpus_term_counts(repo.documents())
+        members = [by_id[m] for m in result.non_empty_clusters()[0][1]]
+        ranked = discriminative_terms(members, counts, repo.vocabulary,
+                                      limit=5)
+        from repro.text import stem
+        background_stems = {stem(w) for w in
+                            ("report", "town", "national", "morning",
+                             "announcement")}
+        top = {term for term, _ in ranked}
+        assert not top & background_stems
+
+    def test_corpus_counts_sum(self, clustered):
+        repo, _, _ = clustered
+        counts = corpus_term_counts(repo.documents())
+        assert sum(counts.values()) == sum(d.length for d in repo)
+
+
+class TestMedoidDocument:
+    def test_medoid_is_most_central(self, clustered):
+        from repro.core import medoid_document
+
+        repo, stats, result = clustered
+        by_id = {d.doc_id: d for d in repo}
+        for _, member_ids in result.non_empty_clusters():
+            members = [by_id[m] for m in member_ids]
+            medoid = medoid_document(members, stats)
+            assert medoid in members
+            # brute-force check: medoid maximises the mean similarity
+            from repro import NoveltySimilarity
+            similarity = NoveltySimilarity(stats)
+
+            def mean_sim(doc):
+                return sum(
+                    similarity.similarity(doc, other)
+                    for other in members if other is not doc
+                )
+
+            best = max(members, key=mean_sim)
+            assert mean_sim(medoid) == pytest.approx(mean_sim(best))
+
+    def test_medoid_edge_cases(self, clustered):
+        from repro.core import medoid_document
+
+        repo, stats, _ = clustered
+        only = repo.documents()[0]
+        assert medoid_document([], stats) is None
+        assert medoid_document([only], stats) is only
+
+
+class TestLabelClustering:
+    def test_labels_every_non_empty_cluster(self, clustered):
+        repo, stats, result = clustered
+        labels = label_clustering(result, repo.documents(),
+                                  repo.vocabulary, statistics=stats)
+        assert len(labels) == len(result.non_empty_clusters())
+        for label in labels:
+            assert label.size > 0
+            assert len(label.terms) <= 5
+            assert str(label) == ", ".join(label.terms)
+
+    def test_without_statistics_uses_discriminative(self, clustered):
+        repo, _, result = clustered
+        labels = label_clustering(result, repo.documents(),
+                                  repo.vocabulary)
+        assert labels
+        assert all(label.terms for label in labels)
+
+    def test_missing_documents_skipped(self, clustered):
+        repo, stats, result = clustered
+        some_docs = repo.documents()[: repo.size // 2]
+        labels = label_clustering(result, some_docs, repo.vocabulary,
+                                  statistics=stats)
+        assert all(
+            label.size <= len(some_docs) for label in labels
+        )

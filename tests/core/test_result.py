@@ -1,0 +1,49 @@
+"""Tests for the ClusteringResult value object."""
+
+import pytest
+
+from repro import ClusteringResult
+
+
+@pytest.fixture
+def result():
+    return ClusteringResult(
+        clusters=(("a", "b"), (), ("c",)),
+        outliers=("x",),
+        clustering_index=1.5,
+        index_history=(1.0, 1.5),
+        iterations=2,
+        converged=True,
+    )
+
+
+class TestAccessors:
+    def test_k_counts_empty_slots(self, result):
+        assert result.k == 3
+
+    def test_n_documents_excludes_outliers(self, result):
+        assert result.n_documents == 3
+
+    def test_non_empty_clusters(self, result):
+        assert result.non_empty_clusters() == [(0, ("a", "b")), (2, ("c",))]
+
+    def test_assignments(self, result):
+        assert result.assignments() == {"a": 0, "b": 0, "c": 2}
+
+    def test_labels_with_outlier_sentinel(self, result):
+        assert result.labels(["a", "x", "c", "unknown"]) == [0, -1, 2, -1]
+
+    def test_cluster_of(self, result):
+        assert result.cluster_of("b") == 0
+        assert result.cluster_of("x") is None
+
+    def test_summary_mentions_key_numbers(self, result):
+        text = result.summary()
+        assert "2 non-empty clusters" in text
+        assert "3 docs" in text
+        assert "+1 outliers" in text
+        assert "converged" in text
+
+    def test_frozen(self, result):
+        with pytest.raises(AttributeError):
+            result.iterations = 5  # type: ignore[misc]

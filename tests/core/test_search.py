@@ -1,0 +1,86 @@
+"""Tests for query -> cluster search."""
+
+import pytest
+
+from repro import (
+    ClusterSearcher,
+    CorpusStatistics,
+    ForgettingModel,
+    NoveltyKMeans,
+)
+from repro.exceptions import ConfigurationError
+from tests.conftest import build_topic_repository
+
+
+@pytest.fixture(scope="module")
+def searcher_setup():
+    repo = build_topic_repository(days=5, docs_per_topic_per_day=3, seed=2)
+    model = ForgettingModel(half_life=7.0)
+    stats = CorpusStatistics.from_scratch(
+        model, repo.documents(), at_time=5.0
+    )
+    result = NoveltyKMeans(k=4, seed=2).fit(stats.documents(), stats)
+    searcher = ClusterSearcher(
+        result, repo.documents(), stats, repo.vocabulary
+    )
+    truth = {d.doc_id: d.topic_id for d in repo}
+    cluster_topic = {
+        cluster_id: truth[members[0]]
+        for cluster_id, members in result.non_empty_clusters()
+    }
+    return searcher, cluster_topic
+
+
+class TestSearch:
+    def test_topical_query_finds_right_cluster(self, searcher_setup):
+        searcher, cluster_topic = searcher_setup
+        for query, topic in [
+            ("stock market investors", "finance"),
+            ("election campaign votes", "politics"),
+            ("team players scoring goals", "sports"),
+            ("physics laboratory experiments", "science"),
+        ]:
+            hits = searcher.search(query)
+            assert hits, query
+            assert cluster_topic[hits[0].cluster_id] == topic, query
+
+    def test_scores_sorted_and_bounded(self, searcher_setup):
+        searcher, _ = searcher_setup
+        hits = searcher.search("market election game research", limit=10)
+        scores = [hit.score for hit in hits]
+        assert scores == sorted(scores, reverse=True)
+        assert all(0.0 < score <= 1.0 + 1e-9 for score in scores)
+
+    def test_matched_terms_reported(self, searcher_setup):
+        searcher, _ = searcher_setup
+        hits = searcher.search("stock market")
+        assert hits
+        assert set(hits[0].matched_terms) <= {"stock", "market"}
+        assert hits[0].matched_terms
+
+    def test_limit_respected(self, searcher_setup):
+        searcher, _ = searcher_setup
+        hits = searcher.search("market election game research", limit=2)
+        assert len(hits) <= 2
+
+    def test_unknown_vocabulary_empty(self, searcher_setup):
+        searcher, _ = searcher_setup
+        assert searcher.search("xylophone zeppelin") == []
+
+    def test_stopword_only_query_empty(self, searcher_setup):
+        searcher, _ = searcher_setup
+        assert searcher.search("the of and") == []
+
+    def test_empty_query(self, searcher_setup):
+        searcher, _ = searcher_setup
+        assert searcher.search("") == []
+
+    def test_invalid_limit(self, searcher_setup):
+        searcher, _ = searcher_setup
+        with pytest.raises(ConfigurationError):
+            searcher.search("market", limit=0)
+
+    def test_query_vector_unit_norm(self, searcher_setup):
+        searcher, _ = searcher_setup
+        vector = searcher.query_vector("stock market rally")
+        assert vector.norm() == pytest.approx(1.0)

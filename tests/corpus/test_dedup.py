@@ -1,0 +1,148 @@
+"""Tests for MinHash near-duplicate detection."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import NearDuplicateIndex, deduplicate
+from repro.corpus.dedup import MinHasher, jaccard
+from tests.conftest import make_document
+
+
+def doc(doc_id, term_ids, t=0.0):
+    return make_document(doc_id, t, {tid: 1 for tid in term_ids})
+
+
+class TestJaccard:
+    def test_identical(self):
+        a = doc("a", range(10))
+        assert jaccard(a, a) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard(doc("a", [0, 1]), doc("b", [2, 3])) == 0.0
+
+    def test_partial(self):
+        value = jaccard(doc("a", [0, 1, 2]), doc("b", [1, 2, 3]))
+        assert value == pytest.approx(0.5)
+
+    def test_counts_ignored(self):
+        a = make_document("a", 0.0, {0: 10, 1: 1})
+        b = make_document("b", 0.0, {0: 1, 1: 10})
+        assert jaccard(a, b) == 1.0
+
+    def test_both_empty(self):
+        assert jaccard(doc("a", []), doc("b", [])) == 1.0
+
+
+class TestMinHasher:
+    def test_signature_deterministic(self):
+        hasher = MinHasher(seed=1)
+        assert hasher.signature([1, 2, 3]) == hasher.signature([3, 2, 1])
+
+    def test_identical_sets_identical_signatures(self):
+        hasher = MinHasher(seed=1)
+        assert MinHasher.estimate(
+            hasher.signature(range(20)), hasher.signature(range(20))
+        ) == 1.0
+
+    def test_signature_length(self):
+        hasher = MinHasher(n_hashes=32, seed=0)
+        assert len(hasher.signature([1])) == 32
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MinHasher.estimate((1, 2), (1,))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.sets(st.integers(0, 500), min_size=5, max_size=60),
+           st.sets(st.integers(0, 500), min_size=5, max_size=60))
+    def test_estimate_tracks_jaccard(self, a, b):
+        """With 256 hashes the estimate lands within ~0.2 of the true
+        Jaccard similarity (3-4 sigma)."""
+        hasher = MinHasher(n_hashes=256, seed=3)
+        estimate = MinHasher.estimate(
+            hasher.signature(a), hasher.signature(b)
+        )
+        union = len(a | b)
+        truth = len(a & b) / union if union else 1.0
+        assert abs(estimate - truth) < 0.2
+
+
+class TestNearDuplicateIndex:
+    def test_exact_duplicate_found(self):
+        index = NearDuplicateIndex(threshold=0.9, seed=1)
+        index.add(doc("original", range(30)))
+        duplicates = index.find_duplicates(doc("copy", range(30)))
+        assert duplicates == [("original", 1.0)]
+
+    def test_near_duplicate_above_threshold(self):
+        index = NearDuplicateIndex(threshold=0.8, seed=1)
+        index.add(doc("original", range(30)))
+        edited = doc("edited", list(range(28)) + [100, 101])
+        duplicates = index.find_duplicates(edited)
+        assert duplicates
+        assert duplicates[0][0] == "original"
+        assert duplicates[0][1] == pytest.approx(28 / 32)
+
+    def test_unrelated_not_flagged(self):
+        index = NearDuplicateIndex(threshold=0.8, seed=1)
+        index.add(doc("original", range(30)))
+        assert index.find_duplicates(doc("other", range(100, 130))) == []
+
+    def test_no_false_positives_by_construction(self):
+        """Candidates are verified by exact Jaccard, so everything
+        reported really is >= threshold."""
+        index = NearDuplicateIndex(threshold=0.7, seed=2)
+        originals = [doc(f"d{i}", range(i, i + 25)) for i in range(0, 60, 3)]
+        for original in originals:
+            index.add(original)
+        probe = doc("probe", range(9, 34))
+        by_id = {d.doc_id: d for d in originals}
+        for doc_id, similarity in index.find_duplicates(probe):
+            assert jaccard(probe, by_id[doc_id]) >= 0.7
+            assert math.isclose(similarity, jaccard(probe, by_id[doc_id]))
+
+    def test_add_returns_duplicates_then_indexes(self):
+        index = NearDuplicateIndex(threshold=0.9, seed=1)
+        assert index.add(doc("a", range(20))) == []
+        assert index.add(doc("b", range(20))) == [("a", 1.0)]
+        assert len(index) == 2
+        assert "a" in index
+
+    def test_banding_validation(self):
+        with pytest.raises(ValueError):
+            NearDuplicateIndex(n_hashes=64, bands=10)
+
+
+class TestDeduplicate:
+    def test_first_wins_chronologically(self):
+        docs = [
+            doc("later_copy", range(30), t=5.0),
+            doc("first", range(30), t=1.0),
+            doc("unique", range(100, 130), t=2.0),
+        ]
+        kept, removed = deduplicate(docs, threshold=0.9)
+        assert {d.doc_id for d in kept} == {"first", "unique"}
+        assert removed == {"later_copy": "first"}
+
+    def test_chain_of_copies_maps_to_original(self):
+        docs = [
+            doc("v1", range(30), t=0.0),
+            doc("v2", range(30), t=1.0),
+            doc("v3", range(30), t=2.0),
+        ]
+        kept, removed = deduplicate(docs, threshold=0.9)
+        assert [d.doc_id for d in kept] == ["v1"]
+        assert removed == {"v2": "v1", "v3": "v1"}
+
+    def test_no_duplicates_all_kept(self):
+        docs = [doc(f"d{i}", range(i * 50, i * 50 + 20), t=float(i))
+                for i in range(5)]
+        kept, removed = deduplicate(docs, threshold=0.8)
+        assert len(kept) == 5
+        assert removed == {}
+
+    def test_empty_input(self):
+        assert deduplicate([]) == ([], {})

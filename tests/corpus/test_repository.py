@@ -1,0 +1,121 @@
+"""Unit tests for repro.corpus.DocumentRepository."""
+
+import pytest
+
+from repro import DocumentRepository
+from repro.exceptions import DuplicateDocumentError, UnknownDocumentError
+from tests.conftest import make_document
+
+
+class TestIngestion:
+    def test_add_text_processes_through_pipeline(self):
+        repo = DocumentRepository()
+        doc = repo.add_text("d1", 0.0, "Asian markets fell; markets crashed.")
+        assert doc.term_counts[repo.vocabulary.id("market")] == 2
+        assert repo.size == 1
+
+    def test_add_text_grows_shared_vocabulary(self):
+        repo = DocumentRepository()
+        repo.add_text("d1", 0.0, "alpha beta")
+        repo.add_text("d2", 1.0, "beta gamma")
+        assert len(repo.vocabulary) == 3
+
+    def test_same_term_same_id_across_documents(self):
+        repo = DocumentRepository()
+        d1 = repo.add_text("d1", 0.0, "shared term")
+        d2 = repo.add_text("d2", 1.0, "shared word")
+        shared_id = repo.vocabulary.id("share")
+        assert shared_id in d1.term_counts
+        assert shared_id in d2.term_counts
+
+    def test_add_prebuilt_document(self):
+        repo = DocumentRepository()
+        doc = make_document("d1", 0.0, {0: 1})
+        assert repo.add(doc) is doc
+        assert repo.get("d1") is doc
+
+    def test_add_all(self):
+        repo = DocumentRepository()
+        docs = [make_document(f"d{i}", float(i), {0: 1}) for i in range(3)]
+        assert repo.add_all(docs) == docs
+        assert repo.size == 3
+
+    def test_duplicate_id_rejected(self):
+        repo = DocumentRepository()
+        repo.add_text("d1", 0.0, "text")
+        with pytest.raises(DuplicateDocumentError):
+            repo.add_text("d1", 1.0, "other")
+
+    def test_metadata_stored(self):
+        repo = DocumentRepository()
+        doc = repo.add_text("d1", 0.0, "body", topic_id="t1",
+                            source="CNN", title="headline")
+        assert (doc.topic_id, doc.source, doc.title) == (
+            "t1", "CNN", "headline",
+        )
+
+
+class TestAccess:
+    def test_get_unknown_raises(self):
+        with pytest.raises(UnknownDocumentError):
+            DocumentRepository().get("missing")
+
+    def test_contains(self):
+        repo = DocumentRepository()
+        repo.add_text("d1", 0.0, "text")
+        assert "d1" in repo
+        assert "d2" not in repo
+
+    def test_iteration_in_arrival_order(self):
+        repo = DocumentRepository()
+        for i in (3, 1, 2):
+            repo.add_text(f"d{i}", float(i), "text here")
+        assert [d.doc_id for d in repo] == ["d3", "d1", "d2"]
+
+    def test_doc_ids(self):
+        repo = DocumentRepository()
+        repo.add_text("a", 0.0, "x y")
+        repo.add_text("b", 1.0, "x y")
+        assert repo.doc_ids() == ["a", "b"]
+
+    def test_between_half_open(self):
+        repo = DocumentRepository()
+        for i in range(5):
+            repo.add(make_document(f"d{i}", float(i), {0: 1}))
+        selected = repo.between(1.0, 3.0)
+        assert [d.doc_id for d in selected] == ["d1", "d2"]
+
+    def test_len(self):
+        repo = DocumentRepository()
+        assert len(repo) == 0
+        repo.add_text("d1", 0.0, "text")
+        assert len(repo) == 1
+
+
+class TestRemoval:
+    def test_remove_returns_document(self):
+        repo = DocumentRepository()
+        doc = repo.add_text("d1", 0.0, "text")
+        assert repo.remove("d1") is doc
+        assert "d1" not in repo
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(UnknownDocumentError):
+            DocumentRepository().remove("missing")
+
+    def test_remove_all(self):
+        repo = DocumentRepository()
+        repo.add_text("a", 0.0, "x y")
+        repo.add_text("b", 1.0, "x y")
+        removed = repo.remove_all(["a", "b"])
+        assert [d.doc_id for d in removed] == ["a", "b"]
+        assert repo.size == 0
+
+    def test_removed_id_can_be_readded(self):
+        # ids are not *reused* by the library, but re-adding after an
+        # explicit removal is legal (e.g. corrections re-delivered)
+        repo = DocumentRepository()
+        repo.add_text("d1", 0.0, "text")
+        repo.remove("d1")
+        repo.add_text("d1", 5.0, "updated text")
+        assert repo.get("d1").timestamp == 5.0

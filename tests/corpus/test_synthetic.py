@@ -1,0 +1,181 @@
+"""Unit tests for the synthetic TDT2-like generator."""
+
+import pytest
+
+from repro import SyntheticCorpusConfig, TDT2Generator, split_into_windows
+from repro.corpus.synthetic import (
+    TABLE2_WINDOW_DOCS,
+    TDT2_DOCUMENT_TOTAL,
+    TDT2_TOPIC_CATALOG,
+    TDT2_TOPIC_TOTAL,
+)
+from repro.exceptions import ConfigurationError
+
+
+def small_config(seed=7, total=400):
+    return SyntheticCorpusConfig(
+        seed=seed,
+        total_documents=total,
+        n_topics=len(TDT2_TOPIC_CATALOG),
+    )
+
+
+class TestCatalog:
+    def test_catalog_matches_paper_figures_topics(self):
+        by_id = {tid: (count, name) for tid, count, name in TDT2_TOPIC_CATALOG}
+        assert by_id["20001"] == (1034, "Asian Economic Crisis")
+        assert by_id["20002"] == (923, "Monica Lewinsky Case")
+        assert by_id["20074"] == (50, "Nigerian Protest Violence")
+        assert by_id["20077"] == (117, "Unabomber")
+        assert by_id["20078"] == (15, "Denmark Strike")
+
+    def test_catalog_counts_below_corpus_total(self):
+        assert sum(c for _, c, _ in TDT2_TOPIC_CATALOG) <= TDT2_DOCUMENT_TOTAL
+
+
+class TestTopicConstruction:
+    def test_full_config_builds_96_topics(self):
+        generator = TDT2Generator(SyntheticCorpusConfig(seed=1))
+        assert len(generator.topics) == TDT2_TOPIC_TOTAL
+
+    def test_topic_counts_sum_to_total(self):
+        generator = TDT2Generator(SyntheticCorpusConfig(seed=1))
+        assert (
+            sum(t.count for t in generator.topics) == TDT2_DOCUMENT_TOTAL
+        )
+
+    def test_scaled_down_corpus_rescales_counts(self):
+        generator = TDT2Generator(small_config(total=400))
+        assert sum(t.count for t in generator.topics) == 400
+        assert all(t.count >= 1 for t in generator.topics)
+
+    def test_window_weights_normalised(self):
+        generator = TDT2Generator(small_config())
+        for topic in generator.topics:
+            assert abs(sum(topic.window_weights) - 1.0) < 1e-9
+
+    def test_keywords_unique_across_topics(self):
+        generator = TDT2Generator(small_config())
+        seen = set()
+        for topic in generator.topics:
+            overlap = seen & set(topic.keywords)
+            assert not overlap
+            seen |= set(topic.keywords)
+
+    def test_topic_by_id(self):
+        generator = TDT2Generator(small_config())
+        assert generator.topic_by_id("20001").name == "Asian Economic Crisis"
+        with pytest.raises(KeyError):
+            generator.topic_by_id("99999")
+
+    def test_too_few_topics_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticCorpusConfig(n_topics=10)
+
+    def test_target_smaller_than_catalogue_terminates(self):
+        """Regression: totals below the topic count used to loop forever
+        in the drift-fixing passes (every count pinned at the floor)."""
+        config = SyntheticCorpusConfig(seed=5, total_documents=60)
+        generator = TDT2Generator(config)
+        assert sum(t.count for t in generator.topics) == 60
+        repo = generator.generate()
+        assert repo.size == 60
+
+    def test_single_window_config(self):
+        """Regression: the calibration spill used to index out of range
+        when the stream has only one window."""
+        config = SyntheticCorpusConfig(
+            seed=1, n_windows=1, window_days=178.0,
+            last_window_days=178.0, total_documents=200,
+            n_topics=len(TDT2_TOPIC_CATALOG),
+        )
+        repo = TDT2Generator(config).generate()
+        assert repo.size == 200
+
+    def test_default_topics_with_small_total_terminates(self):
+        """total_documents=300 with the full 96-topic default config."""
+        config = SyntheticCorpusConfig(seed=5, total_documents=300)
+        repo = TDT2Generator(config).generate()
+        assert repo.size == 300
+
+
+class TestGeneration:
+    def test_document_count_and_ordering(self):
+        generator = TDT2Generator(small_config())
+        repo = generator.generate()
+        assert repo.size == 400
+        times = [d.timestamp for d in repo]
+        assert times == sorted(times)
+
+    def test_deterministic_across_instances(self):
+        first = TDT2Generator(small_config(seed=11)).generate()
+        second = TDT2Generator(small_config(seed=11)).generate()
+        assert [d.doc_id for d in first] == [d.doc_id for d in second]
+        assert [d.term_counts for d in first] == [
+            d.term_counts for d in second
+        ]
+
+    def test_seed_changes_output(self):
+        first = TDT2Generator(small_config(seed=11)).generate()
+        second = TDT2Generator(small_config(seed=12)).generate()
+        assert [d.term_counts for d in first] != [
+            d.term_counts for d in second
+        ]
+
+    def test_all_docs_within_stream_span(self):
+        config = small_config()
+        repo = TDT2Generator(config).generate()
+        for doc in repo:
+            assert 0.0 <= doc.timestamp < config.total_days
+
+    def test_labels_cover_topics(self):
+        repo = TDT2Generator(small_config()).generate()
+        labels = {d.topic_id for d in repo}
+        assert None not in labels
+        assert "20001" in labels
+
+    def test_unlabeled_noise_documents(self):
+        config = SyntheticCorpusConfig(
+            seed=7,
+            total_documents=200,
+            n_topics=len(TDT2_TOPIC_CATALOG),
+            unlabeled_per_day=1.0,
+        )
+        repo = TDT2Generator(config).generate()
+        unlabeled = [d for d in repo if d.topic_id is None]
+        assert len(unlabeled) == int(config.total_days)
+        assert repo.size == 200 + len(unlabeled)
+
+    def test_documents_have_plausible_lengths(self):
+        config = small_config()
+        repo = TDT2Generator(config).generate()
+        for doc in list(repo)[:50]:
+            assert doc.length > 10  # stemming/stopwords shrink it a bit
+
+    def test_figure_topic_window_shapes(self):
+        """20077 (Unabomber) must live in windows 1 and 4 only —
+        the shape the paper's Figure 6 narrative depends on."""
+        config = SyntheticCorpusConfig(seed=3)
+        repo = TDT2Generator(config).generate()
+        windows = split_into_windows(
+            repo.documents(), config.window_days, end=config.total_days
+        )
+        counts = [
+            sum(1 for d in w.documents if d.topic_id == "20077")
+            for w in windows
+        ]
+        assert counts[0] > 50
+        assert 5 <= counts[3] <= 20
+        assert counts[1] == counts[2] == counts[4] == counts[5] == 0
+
+    def test_window_doc_totals_track_table2(self):
+        config = SyntheticCorpusConfig(seed=1998)
+        repo = TDT2Generator(config).generate()
+        windows = split_into_windows(
+            repo.documents(), config.window_days, end=config.total_days
+        )
+        for window, paper in zip(windows, TABLE2_WINDOW_DOCS):
+            measured = len(window)
+            assert abs(measured - paper) / paper < 0.25, (
+                f"window {window.index}: {measured} vs paper {paper}"
+            )

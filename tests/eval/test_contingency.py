@@ -1,0 +1,90 @@
+"""Tests for the paper's Table 3 contingency table."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import ContingencyTable
+
+
+class TestConstruction:
+    def test_from_sets(self):
+        table = ContingencyTable.from_sets(
+            cluster={"a", "b", "c"}, topic={"b", "c", "d"}, total=10
+        )
+        assert (table.a, table.b, table.c, table.d) == (2, 1, 1, 6)
+
+    def test_from_sets_disjoint(self):
+        table = ContingencyTable.from_sets({"a"}, {"b"}, total=5)
+        assert (table.a, table.b, table.c, table.d) == (0, 1, 1, 3)
+
+    def test_from_sets_total_too_small(self):
+        with pytest.raises(ValueError):
+            ContingencyTable.from_sets({"a", "b"}, {"c"}, total=2)
+
+    def test_negative_cell_rejected(self):
+        from repro.exceptions import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            ContingencyTable(a=-1, b=0, c=0, d=0)
+
+    def test_total(self):
+        assert ContingencyTable(1, 2, 3, 4).total == 10
+
+
+class TestMeasures:
+    def test_paper_formulas(self):
+        table = ContingencyTable(a=6, b=2, c=4, d=8)
+        assert math.isclose(table.precision, 6 / 8)
+        assert math.isclose(table.recall, 6 / 10)
+        assert math.isclose(table.f1, 12 / 18)
+
+    def test_f1_is_harmonic_mean(self):
+        table = ContingencyTable(a=5, b=3, c=2, d=0)
+        p, r = table.precision, table.recall
+        assert math.isclose(table.f1, 2 * p * r / (p + r))
+
+    def test_empty_cluster_zero_precision(self):
+        assert ContingencyTable(0, 0, 3, 4).precision == 0.0
+
+    def test_empty_topic_zero_recall(self):
+        assert ContingencyTable(0, 3, 0, 4).recall == 0.0
+
+    def test_all_zero_f1(self):
+        assert ContingencyTable(0, 0, 0, 4).f1 == 0.0
+
+    def test_perfect_cluster(self):
+        table = ContingencyTable(a=5, b=0, c=0, d=5)
+        assert table.precision == table.recall == table.f1 == 1.0
+
+
+class TestMerging:
+    def test_merged_sums_cells(self):
+        merged = ContingencyTable(1, 2, 3, 4).merged(
+            ContingencyTable(10, 20, 30, 40)
+        )
+        assert (merged.a, merged.b, merged.c, merged.d) == (11, 22, 33, 44)
+
+    def test_empty_identity(self):
+        table = ContingencyTable(1, 2, 3, 4)
+        assert table.merged(ContingencyTable.empty()) == table
+
+    @given(st.lists(
+        st.tuples(st.integers(0, 50), st.integers(0, 50),
+                  st.integers(0, 50), st.integers(0, 50)),
+        min_size=1, max_size=10,
+    ))
+    def test_micro_f1_equals_pooled_counts(self, cells):
+        """Merging then computing F1 equals F1 of summed counts —
+        the definition of micro-averaging."""
+        tables = [ContingencyTable(*c) for c in cells]
+        merged = ContingencyTable.empty()
+        for table in tables:
+            merged = merged.merged(table)
+        a = sum(c[0] for c in cells)
+        b = sum(c[1] for c in cells)
+        c_ = sum(c[2] for c in cells)
+        denom = 2 * a + b + c_
+        expected = 2 * a / denom if denom else 0.0
+        assert math.isclose(merged.f1, expected)

@@ -1,0 +1,104 @@
+"""Tests for detection-latency measurement."""
+
+import pytest
+
+from repro import DetectionRecorder, first_arrivals
+from tests.conftest import make_document
+
+TRUTH = {
+    "a1": "t1", "a2": "t1", "a3": "t1",
+    "b1": "t2", "b2": "t2",
+}
+
+
+class TestFirstArrivals:
+    def test_earliest_per_topic(self):
+        docs = [
+            make_document("a1", 3.0, {0: 1}, topic_id="t1"),
+            make_document("a2", 1.0, {0: 1}, topic_id="t1"),
+            make_document("b1", 5.0, {0: 1}, topic_id="t2"),
+            make_document("n1", 0.0, {0: 1}, topic_id=None),
+        ]
+        assert first_arrivals(docs) == {"t1": 1.0, "t2": 5.0}
+
+    def test_empty(self):
+        assert first_arrivals([]) == {}
+
+
+class TestDetectionRecorder:
+    def test_records_first_detection_only(self):
+        recorder = DetectionRecorder(TRUTH)
+        assert recorder.observe([["a1", "a2"]], at_time=1.0) == ["t1"]
+        # t1 detected again + t2 fresh
+        assert recorder.observe(
+            [["a1", "a2", "a3"], ["b1", "b2"]], at_time=2.0
+        ) == ["t2"]
+        report = recorder.report({"t1": 0.5, "t2": 0.5})
+        assert report.latency_of("t1") == 0.5
+        assert report.latency_of("t2") == 1.5
+
+    def test_unmarked_clusters_do_not_detect(self):
+        recorder = DetectionRecorder(TRUTH)
+        # 50/50 mix fails the precision threshold
+        assert recorder.observe([["a1", "b1"]], at_time=1.0) == []
+        report = recorder.report({"t1": 0.0})
+        assert report.detected_fraction == 0.0
+        assert report.mean_latency is None
+        assert report.median_latency is None
+
+    def test_never_detected_topic(self):
+        recorder = DetectionRecorder(TRUTH)
+        recorder.observe([["a1", "a2"]], at_time=1.0)
+        report = recorder.report({"t1": 0.0, "t2": 0.0})
+        assert report.detected_fraction == 0.5
+        t2 = next(t for t in report.topics if t.topic_id == "t2")
+        assert t2.detected_at is None
+        assert t2.latency is None
+
+    def test_time_must_advance(self):
+        recorder = DetectionRecorder(TRUTH)
+        recorder.observe([["a1", "a2"]], at_time=1.0)
+        with pytest.raises(ValueError):
+            recorder.observe([["a1", "a2"]], at_time=1.0)
+
+    def test_unknown_topic_in_report_raises(self):
+        recorder = DetectionRecorder(TRUTH)
+        report = recorder.report({"t1": 0.0})
+        with pytest.raises(KeyError):
+            report.latency_of("nope")
+
+    def test_mean_and_median(self):
+        recorder = DetectionRecorder(TRUTH)
+        recorder.observe([["a1", "a2"]], at_time=2.0)
+        recorder.observe([["a1", "a2"], ["b1", "b2"]], at_time=6.0)
+        report = recorder.report({"t1": 0.0, "t2": 0.0})
+        assert report.mean_latency == pytest.approx(4.0)
+        assert report.median_latency == pytest.approx(4.0)
+
+
+class TestEndToEndLatency:
+    def test_short_half_life_detects_burst_no_later(self):
+        """On a stream with a late burst, β=3 must surface the burst
+        topic no later than β=90 does (usually strictly earlier)."""
+        from repro import ForgettingModel, IncrementalClusterer, iter_batches
+        from tests.integration.test_paper_claims import build_burst_stream
+
+        repo = build_burst_stream(seed=4)
+        docs = repo.documents()
+        truth = {d.doc_id: d.topic_id for d in docs}
+        arrivals = first_arrivals(docs)
+        detected = {}
+        for beta in (3.0, 90.0):
+            clusterer = IncrementalClusterer(
+                ForgettingModel(half_life=beta), k=3, seed=1
+            )
+            recorder = DetectionRecorder(truth)
+            for at_time, batch in iter_batches(docs, 2.0, origin=0.0):
+                result = clusterer.process_batch(batch, at_time=at_time)
+                recorder.observe(result.clusters, at_time)
+            detected[beta] = recorder.report(arrivals)
+        burst_short = detected[3.0].latency_of("burst")
+        burst_long = detected[90.0].latency_of("burst")
+        assert burst_short is not None
+        if burst_long is not None:
+            assert burst_short <= burst_long

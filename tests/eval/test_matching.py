@@ -1,0 +1,88 @@
+"""Tests for cluster -> topic marking (Section 6.2.3 protocol)."""
+
+import pytest
+
+from repro import mark_clusters
+from repro.eval.matching import topic_membership
+
+
+TRUTH = {
+    "a1": "sports", "a2": "sports", "a3": "sports", "a4": "sports",
+    "b1": "finance", "b2": "finance",
+    "c1": "politics",
+    "n1": None,
+}
+
+
+class TestTopicMembership:
+    def test_inverts_truth(self):
+        members = topic_membership(TRUTH)
+        assert members["sports"] == {"a1", "a2", "a3", "a4"}
+        assert members["finance"] == {"b1", "b2"}
+
+    def test_unlabelled_excluded(self):
+        members = topic_membership(TRUTH)
+        assert all("n1" not in docs for docs in members.values())
+
+
+class TestMarking:
+    def test_pure_cluster_marked(self):
+        marked = mark_clusters([["a1", "a2", "a3"]], TRUTH)
+        assert marked[0].topic_id == "sports"
+        assert marked[0].precision == 1.0
+        assert marked[0].recall == 0.75
+
+    def test_exactly_at_threshold_marked(self):
+        """'equal or greater than 0.60' — 3 of 5 is 0.6, marked."""
+        marked = mark_clusters([["a1", "a2", "a3", "b1", "b2"]], TRUTH)
+        assert marked[0].precision == 0.6
+        assert marked[0].topic_id == "sports"
+
+    def test_below_threshold_unmarked_but_inspectable(self):
+        marked = mark_clusters([["a1", "a2", "b1", "b2"]], TRUTH)
+        assert marked[0].topic_id is None
+        assert not marked[0].is_marked
+        assert marked[0].best_topic_id in ("sports", "finance")
+
+    def test_custom_threshold(self):
+        marked = mark_clusters([["a1", "a2", "b1", "b2"]], TRUTH,
+                               threshold=0.5)
+        assert marked[0].is_marked
+
+    def test_unlabelled_members_count_against_precision(self):
+        marked = mark_clusters([["a1", "a2", "n1"]], TRUTH)
+        assert marked[0].precision == pytest.approx(2 / 3)
+        assert marked[0].topic_id == "sports"
+
+    def test_cluster_of_only_unlabelled_unmarked(self):
+        marked = mark_clusters([["n1"]], TRUTH)
+        assert marked[0].topic_id is None
+        assert marked[0].best_topic_id is None
+        assert marked[0].precision == 0.0
+
+    def test_empty_clusters_skipped(self):
+        marked = mark_clusters([[], ["a1", "a2"], []], TRUTH)
+        assert len(marked) == 1
+        assert marked[0].cluster_id == 1
+
+    def test_two_clusters_may_share_topic(self):
+        """The paper's protocol allows several clusters marked with the
+        same topic (large topics split across clusters, Section 6.2.3)."""
+        marked = mark_clusters([["a1", "a2"], ["a3", "a4"]], TRUTH)
+        assert [m.topic_id for m in marked] == ["sports", "sports"]
+
+    def test_tie_broken_by_recall_then_id(self):
+        truth = {"x1": "t_a", "x2": "t_b", "x3": "t_b"}
+        # cluster has 1 doc of each topic: precision ties at 0.5;
+        # t_a recall = 1/1 beats t_b recall = 1/2
+        marked = mark_clusters([["x1", "x2"]], truth, threshold=0.4)
+        assert marked[0].topic_id == "t_a"
+
+    def test_recall_uses_full_topic_size(self):
+        marked = mark_clusters([["a1"]], TRUTH)
+        assert marked[0].recall == 0.25
+
+    def test_contingency_d_never_negative(self):
+        truth = {"a1": "t", "n1": None, "n2": None}
+        marked = mark_clusters([["a1", "n1", "n2"]], truth, threshold=0.3)
+        assert marked[0].table.d >= 0

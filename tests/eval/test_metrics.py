@@ -1,0 +1,96 @@
+"""Tests for micro/macro-averaged F1 (Section 6.2.3)."""
+
+import math
+
+import pytest
+
+from repro import evaluate_clustering
+
+TRUTH = {
+    "a1": "sports", "a2": "sports", "a3": "sports", "a4": "sports",
+    "b1": "finance", "b2": "finance", "b3": "finance",
+    "c1": "politics", "c2": "politics",
+}
+
+
+class TestPerfectClustering:
+    def test_all_ones(self):
+        clusters = [
+            ["a1", "a2", "a3", "a4"],
+            ["b1", "b2", "b3"],
+            ["c1", "c2"],
+        ]
+        ev = evaluate_clustering(clusters, TRUTH)
+        assert ev.micro_f1 == 1.0
+        assert ev.macro_f1 == 1.0
+        assert ev.micro_precision == ev.micro_recall == 1.0
+        assert ev.n_marked == 3
+
+
+class TestMixedClustering:
+    @pytest.fixture
+    def evaluation(self):
+        clusters = [
+            ["a1", "a2", "a3", "b1"],   # sports, p=0.75 r=0.75
+            ["b2", "b3"],               # finance, p=1.0 r=2/3
+            ["c1", "a4"],               # tie politics/sports p=0.5 -> unmarked
+        ]
+        return evaluate_clustering(clusters, TRUTH)
+
+    def test_marked_count(self, evaluation):
+        assert evaluation.n_marked == 2
+
+    def test_micro_pools_marked_tables_only(self, evaluation):
+        # merged: a=3+2=5, b=1+0=1, c=1+1=2
+        assert evaluation.micro.a == 5
+        assert evaluation.micro.b == 1
+        assert evaluation.micro.c == 2
+        assert math.isclose(evaluation.micro_f1, 10 / 13)
+
+    def test_macro_averages_per_cluster(self, evaluation):
+        p1, r1 = 0.75, 0.75
+        p2, r2 = 1.0, 2 / 3
+        assert math.isclose(evaluation.macro_precision, (p1 + p2) / 2)
+        assert math.isclose(evaluation.macro_recall, (r1 + r2) / 2)
+        f1_1 = 2 * p1 * r1 / (p1 + r1)
+        f1_2 = 2 * p2 * r2 / (p2 + r2)
+        assert math.isclose(evaluation.macro_f1, (f1_1 + f1_2) / 2)
+
+    def test_macro_f1_pr_harmonic_of_averages(self, evaluation):
+        p, r = evaluation.macro_precision, evaluation.macro_recall
+        assert math.isclose(evaluation.macro_f1_pr, 2 * p * r / (p + r))
+
+    def test_marked_topics(self, evaluation):
+        assert evaluation.marked_topics == ["sports", "finance"]
+        assert evaluation.detects_topic("sports")
+        assert not evaluation.detects_topic("politics")
+
+
+class TestDegenerateCases:
+    def test_no_marked_clusters(self):
+        clusters = [["a1", "b1"], ["a2", "c1"]]
+        ev = evaluate_clustering(clusters, TRUTH)
+        assert ev.n_marked == 0
+        assert ev.micro_f1 == 0.0
+        assert ev.macro_f1 == 0.0
+        assert ev.macro_f1_pr == 0.0
+
+    def test_empty_clustering(self):
+        ev = evaluate_clustering([], TRUTH)
+        assert ev.n_marked == 0
+        assert ev.micro_f1 == 0.0
+
+    def test_outliers_hurt_recall_not_precision(self):
+        """Documents left out of all clusters lower recall (they are in
+        'c') but do not affect precision."""
+        ev_full = evaluate_clustering([["a1", "a2", "a3", "a4"]], TRUTH)
+        ev_partial = evaluate_clustering([["a1", "a2"]], TRUTH)
+        assert ev_partial.micro_precision == ev_full.micro_precision == 1.0
+        assert ev_partial.micro_recall < ev_full.micro_recall
+
+    def test_duplicate_topic_clusters_both_counted(self):
+        clusters = [["a1", "a2"], ["a3", "a4"]]
+        ev = evaluate_clustering(clusters, TRUTH)
+        assert ev.n_marked == 2
+        # micro recall: each cluster misses the other half: a=4, c=4
+        assert math.isclose(ev.micro_recall, 0.5)

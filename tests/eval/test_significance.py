@@ -1,0 +1,107 @@
+"""Tests for bootstrap F1 confidence intervals."""
+
+import math
+
+import pytest
+
+from repro import bootstrap_micro_f1, evaluate_clustering
+from repro.eval.significance import _document_contributions
+from repro.exceptions import ConfigurationError
+
+TRUTH = {
+    f"a{i}": "t1" for i in range(10)
+} | {
+    f"b{i}": "t2" for i in range(6)
+}
+
+CLUSTERS = [
+    [f"a{i}" for i in range(8)] + ["b0"],   # t1, p=8/9
+    [f"b{i}" for i in range(1, 6)],          # t2, p=1
+]
+
+
+class TestDocumentContributions:
+    def test_triples_reproduce_micro_f1(self):
+        contributions = _document_contributions(CLUSTERS, TRUTH, 0.6)
+        a = sum(t[0] for t in contributions.values())
+        b = sum(t[1] for t in contributions.values())
+        c = sum(t[2] for t in contributions.values())
+        expected = evaluate_clustering(CLUSTERS, TRUTH)
+        assert expected.micro.a == a
+        assert expected.micro.b == b
+        assert expected.micro.c == c
+
+    def test_every_labelled_document_has_a_triple(self):
+        contributions = _document_contributions(CLUSTERS, TRUTH, 0.6)
+        assert set(contributions) == set(TRUTH)
+
+    def test_unlabelled_cluster_members_count_against_precision(self):
+        """Regression: unlabelled docs inside a marked cluster carry a
+        b-cell in evaluate_clustering and must do so in the bootstrap
+        point estimate too."""
+        import math as _math
+
+        from repro import evaluate_clustering as _eval
+
+        truth = dict(TRUTH, n1=None, n2=None)
+        clusters = [CLUSTERS[0] + ["n1", "n2"], CLUSTERS[1]]
+        interval = bootstrap_micro_f1(clusters, truth, n_resamples=100,
+                                      seed=1)
+        expected = _eval(clusters, truth).micro_f1
+        assert _math.isclose(interval.point, expected)
+
+
+class TestBootstrapMicroF1:
+    def test_point_matches_evaluate_clustering(self):
+        interval = bootstrap_micro_f1(CLUSTERS, TRUTH, n_resamples=200,
+                                      seed=1)
+        expected = evaluate_clustering(CLUSTERS, TRUTH).micro_f1
+        assert math.isclose(interval.point, expected)
+
+    def test_interval_brackets_point(self):
+        interval = bootstrap_micro_f1(CLUSTERS, TRUTH, n_resamples=500,
+                                      seed=2)
+        assert interval.lower <= interval.point <= interval.upper
+        assert 0.0 <= interval.lower
+        assert interval.upper <= 1.0
+
+    def test_deterministic_given_seed(self):
+        first = bootstrap_micro_f1(CLUSTERS, TRUTH, n_resamples=100, seed=3)
+        second = bootstrap_micro_f1(CLUSTERS, TRUTH, n_resamples=100, seed=3)
+        assert first == second
+
+    def test_perfect_clustering_degenerate_interval(self):
+        truth = {"a": "t", "b": "t", "c": "u", "d": "u"}
+        clusters = [["a", "b"], ["c", "d"]]
+        interval = bootstrap_micro_f1(clusters, truth, n_resamples=200,
+                                      seed=0)
+        assert interval.point == 1.0
+        assert interval.lower == interval.upper == 1.0
+        assert interval.width == 0.0
+
+    def test_wider_interval_for_smaller_samples(self):
+        small_truth = {"a0": "t1", "a1": "t1", "b0": "t2", "b1": "t2"}
+        small_clusters = [["a0", "a1", "b0"], ["b1"]]
+        small = bootstrap_micro_f1(small_clusters, small_truth,
+                                   n_resamples=400, seed=4)
+        large = bootstrap_micro_f1(CLUSTERS, TRUTH, n_resamples=400,
+                                   seed=4)
+        assert small.width >= large.width
+
+    def test_no_labelled_documents(self):
+        interval = bootstrap_micro_f1([["x"]], {"x": None},
+                                      n_resamples=50, seed=0)
+        assert interval.point == 0.0
+        assert interval.width == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_micro_f1(CLUSTERS, TRUTH, n_resamples=0)
+        with pytest.raises(ConfigurationError):
+            bootstrap_micro_f1(CLUSTERS, TRUTH, confidence=1.0)
+
+    def test_str_format(self):
+        interval = bootstrap_micro_f1(CLUSTERS, TRUTH, n_resamples=100,
+                                      seed=5)
+        text = str(interval)
+        assert "[" in text and "]" in text and "95%" in text

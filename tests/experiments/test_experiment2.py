@@ -1,0 +1,85 @@
+"""Tests for the Experiment 2 (Tables 2/4, Figures 1-4) driver at
+reduced scale."""
+
+import pytest
+
+from repro.corpus.synthetic import SyntheticCorpusConfig, TDT2_TOPIC_CATALOG
+from repro.experiments import ExperimentTwoConfig, run_experiment2
+
+
+def small_config():
+    return ExperimentTwoConfig(
+        seed=42,
+        k=8,
+        betas=(7.0, 30.0),
+        corpus=SyntheticCorpusConfig(
+            seed=42,
+            total_documents=1200,
+            n_topics=len(TDT2_TOPIC_CATALOG),
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_experiment2(small_config(), windows=(0, 3))
+
+
+class TestExperimentTwo:
+    def test_selected_windows_run_for_both_betas(self, result):
+        assert set(result.runs) == {
+            (0, 7.0), (0, 30.0), (3, 7.0), (3, 30.0),
+        }
+
+    def test_six_windows_described(self, result):
+        assert len(result.windows) == 6
+
+    def test_runs_carry_evaluations(self, result):
+        for run in result.runs.values():
+            assert 0.0 <= run.evaluation.micro_f1 <= 1.0
+            assert 0.0 <= run.evaluation.macro_f1 <= 1.0
+            assert run.result.n_documents > 0
+
+    def test_table2_rows_cover_all_windows(self, result):
+        rows = result.table2_rows()
+        assert len(rows) == 6  # six statistics
+        assert all(len(row) == 7 for row in rows)  # label + six windows
+
+    def test_render_table2(self, result):
+        text = result.render_table2()
+        assert "Table 2" in text
+        assert "paper" in text
+
+    def test_table4_rows_mark_missing_windows(self, result):
+        rows = result.table4_rows(betas=(7.0, 30.0))
+        assert len(rows) == 6
+        # window 2 was not selected: measured cells show placeholders
+        assert "--" in rows[1][1]
+
+    def test_render_table4_includes_paper_reference(self, result):
+        text = result.render_table4()
+        assert "Table 4" in text
+        assert "0.34" in text  # paper's window-1 β=7 micro F1
+
+
+class TestIncrementalPipeline:
+    def test_incremental_pipeline_close_to_batch(self):
+        config = small_config()
+        batch = run_experiment2(config, windows=(0,))
+
+        config_inc = small_config()
+        config_inc.pipeline = "incremental"
+        config_inc.batch_days = 10.0
+        incremental = run_experiment2(config_inc, windows=(0,))
+
+        for beta in (7.0, 30.0):
+            f1_batch = batch.run(0, beta).evaluation.micro_f1
+            f1_inc = incremental.run(0, beta).evaluation.micro_f1
+            # §6.2.2: "roughly close to each other"
+            assert abs(f1_batch - f1_inc) < 0.35
+
+    def test_invalid_pipeline_rejected(self):
+        import pytest as _pytest
+        config = small_config()
+        with _pytest.raises(ValueError):
+            type(config)(pipeline="telepathic")

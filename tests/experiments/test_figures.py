@@ -1,0 +1,100 @@
+"""Tests for figure helpers (histograms, precision/recall charts)."""
+
+import pytest
+
+from repro import evaluate_clustering
+from repro.experiments import (
+    precision_recall_chart,
+    render_histogram,
+    topic_histogram,
+)
+from tests.conftest import make_document
+
+
+def docs_for_histogram():
+    times = [0.5, 1.5, 6.5, 7.5, 8.0, 20.0]
+    docs = [
+        make_document(f"d{i}", t, {0: 1}, topic_id="hot")
+        for i, t in enumerate(times)
+    ]
+    docs.append(make_document("other", 3.0, {0: 1}, topic_id="cold"))
+    return docs
+
+
+class TestTopicHistogram:
+    def test_weekly_bins(self):
+        counts = topic_histogram(docs_for_histogram(), "hot", bin_days=7.0)
+        # 0.5, 1.5, 6.5 -> week 1; 7.5, 8.0 -> week 2; 20.0 -> week 3
+        assert counts == [3, 2, 1]
+
+    def test_other_topics_excluded(self):
+        counts = topic_histogram(docs_for_histogram(), "cold", bin_days=7.0)
+        assert counts == [1]
+
+    def test_total_days_pads_bins(self):
+        counts = topic_histogram(
+            docs_for_histogram(), "hot", bin_days=7.0, total_days=35.0
+        )
+        assert len(counts) == 5
+        assert counts[4] == 0
+
+    def test_missing_topic_empty(self):
+        counts = topic_histogram(docs_for_histogram(), "nope", bin_days=7.0,
+                                 total_days=14.0)
+        assert counts == [0, 0]
+
+    def test_invalid_bin(self):
+        with pytest.raises(ValueError):
+            topic_histogram([], "t", bin_days=0.0)
+
+    def test_counts_sum_to_topic_size(self):
+        docs = docs_for_histogram()
+        counts = topic_histogram(docs, "hot", bin_days=3.0)
+        assert sum(counts) == sum(1 for d in docs if d.topic_id == "hot")
+
+
+class TestRenderHistogram:
+    def test_bars_scale_to_peak(self):
+        text = render_histogram([2, 4], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_title_and_labels(self):
+        text = render_histogram([1], title="Figure 5", bin_label="month")
+        assert text.splitlines()[0] == "Figure 5"
+        assert "month  1" in text
+
+    def test_all_zero_safe(self):
+        text = render_histogram([0, 0])
+        assert "#" not in text
+
+
+class TestPrecisionRecallChart:
+    @pytest.fixture
+    def evaluation(self):
+        truth = {
+            "a1": "t1", "a2": "t1", "a3": "t1",
+            "b1": "t2", "b2": "t2",
+        }
+        return evaluate_clustering(
+            [["a1", "a2", "a3"], ["b1", "b2"], ["a1x"]], truth
+        )
+
+    def test_marked_clusters_listed(self, evaluation):
+        chart = precision_recall_chart(evaluation)
+        assert "t1" in chart
+        assert "t2" in chart
+        assert "micro F1" in chart
+
+    def test_unmarked_hidden_by_default(self, evaluation):
+        chart = precision_recall_chart(evaluation)
+        assert "[" not in chart
+        chart_all = precision_recall_chart(evaluation,
+                                           include_unmarked=True)
+        assert "[" in chart_all
+
+    def test_bars_reflect_values(self, evaluation):
+        chart = precision_recall_chart(evaluation, width=10)
+        # both marked clusters have precision 1.0 -> a full 10-char bar
+        assert "##########" in chart

@@ -1,0 +1,48 @@
+"""Tests for report rendering helpers."""
+
+import pytest
+
+from repro.experiments.reporting import format_seconds, render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["a", "b"], [[1, "x"], [22, "yy"]])
+        lines = text.splitlines()
+        assert lines[0] == "a  | b"
+        assert lines[1] == "---+---"
+        assert lines[2] == "1  | x"
+        assert lines[3] == "22 | yy"
+
+    def test_title(self):
+        text = render_table(["h"], [["v"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_header_wider_than_cells(self):
+        text = render_table(["wide header"], [["x"]])
+        assert "wide header" in text
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        text = render_table(["a"], [])
+        assert len(text.splitlines()) == 2
+
+    def test_non_string_cells_coerced(self):
+        text = render_table(["x"], [[3.14159]])
+        assert "3.14159" in text
+
+
+class TestFormatSeconds:
+    def test_paper_style_minutes(self):
+        assert format_seconds(95.0) == "1min35sec"
+        assert format_seconds(25 * 60 + 21) == "25min21sec"
+
+    def test_sub_minute_keeps_decimals(self):
+        assert format_seconds(0.414) == "0.414sec"
+        assert format_seconds(12.34) == "12.3sec"
+
+    def test_boundary(self):
+        assert format_seconds(60.0) == "1min00sec"

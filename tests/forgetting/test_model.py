@@ -1,0 +1,113 @@
+"""Unit tests for the forgetting model (Eq. 1-2)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import ForgettingModel
+from repro.exceptions import ConfigurationError
+
+
+class TestParameters:
+    def test_paper_experiment1_values(self):
+        """β=7, γ=14 — the paper says λ=0.9 and ε=0.25 (they round)."""
+        model = ForgettingModel(half_life=7.0, life_span=14.0)
+        assert math.isclose(model.decay_factor, 0.9057, abs_tol=5e-5)
+        assert math.isclose(model.epsilon, 0.25)
+
+    def test_paper_experiment2_values(self):
+        """β=30 corresponds to λ≈0.98 (paper Section 6.2.2)."""
+        model = ForgettingModel(half_life=30.0)
+        assert math.isclose(model.decay_factor, 0.977, abs_tol=5e-4)
+
+    def test_lambda_satisfies_half_life_identity(self):
+        model = ForgettingModel(half_life=11.3)
+        assert math.isclose(model.decay_factor ** 11.3, 0.5)
+
+    def test_epsilon_zero_without_life_span(self):
+        assert ForgettingModel(half_life=7.0).epsilon == 0.0
+
+    def test_invalid_half_life(self):
+        with pytest.raises(ConfigurationError):
+            ForgettingModel(half_life=0.0)
+        with pytest.raises(ConfigurationError):
+            ForgettingModel(half_life=-1.0)
+
+    def test_life_span_shorter_than_half_life_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ForgettingModel(half_life=7.0, life_span=3.0)
+
+    def test_from_decay_factor_roundtrip(self):
+        model = ForgettingModel.from_decay_factor(0.9)
+        assert math.isclose(model.decay_factor, 0.9)
+
+    def test_from_decay_factor_bounds(self):
+        with pytest.raises(ConfigurationError):
+            ForgettingModel.from_decay_factor(1.0)
+        with pytest.raises(ConfigurationError):
+            ForgettingModel.from_decay_factor(0.0)
+
+    def test_frozen(self):
+        model = ForgettingModel(half_life=7.0)
+        with pytest.raises(AttributeError):
+            model.half_life = 3.0  # type: ignore[misc]
+
+
+class TestWeights:
+    def test_initial_weight_is_one(self):
+        model = ForgettingModel(half_life=7.0)
+        assert model.weight(acquired_at=5.0, now=5.0) == 1.0
+
+    def test_half_life_halves_weight(self):
+        model = ForgettingModel(half_life=7.0)
+        assert math.isclose(model.weight(0.0, 7.0), 0.5)
+        assert math.isclose(model.weight(0.0, 14.0), 0.25)
+
+    def test_future_acquisition_rejected(self):
+        model = ForgettingModel(half_life=7.0)
+        with pytest.raises(ConfigurationError):
+            model.weight(acquired_at=10.0, now=5.0)
+
+    def test_decay_over_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ForgettingModel(half_life=7.0).decay_over(-1.0)
+
+    def test_is_expired_at_exactly_epsilon_is_false(self):
+        """Expiry is strict: dw < ε, not <= (a doc exactly at its life
+        span is still active, per Section 5.2 step 2)."""
+        model = ForgettingModel(half_life=7.0, life_span=14.0)
+        assert not model.is_expired(model.epsilon)
+        assert model.is_expired(model.epsilon * 0.999)
+
+    def test_never_expires_without_life_span(self):
+        assert not ForgettingModel(half_life=7.0).is_expired(1e-300)
+
+
+class TestModelProperties:
+    @given(st.floats(min_value=0.1, max_value=1000.0, allow_nan=False),
+           st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+           st.floats(min_value=0.0, max_value=100.0, allow_nan=False))
+    def test_decay_is_multiplicative(self, beta, d1, d2):
+        """Eq. 27's foundation: λ^(a+b) == λ^a · λ^b."""
+        model = ForgettingModel(half_life=beta)
+        assert math.isclose(
+            model.decay_over(d1 + d2),
+            model.decay_over(d1) * model.decay_over(d2),
+            rel_tol=1e-9,
+        )
+
+    @given(st.floats(min_value=0.1, max_value=1000.0, allow_nan=False),
+           st.floats(min_value=0.0, max_value=500.0, allow_nan=False))
+    def test_weight_in_unit_interval(self, beta, age):
+        model = ForgettingModel(half_life=beta)
+        weight = model.weight(0.0, age)
+        # extreme age/half-life ratios may underflow to exactly 0.0
+        assert 0.0 <= weight <= 1.0
+
+    @given(st.floats(min_value=0.1, max_value=1000.0, allow_nan=False))
+    def test_weight_monotone_decreasing(self, beta):
+        model = ForgettingModel(half_life=beta)
+        weights = [model.weight(0.0, t) for t in (0.0, 1.0, 5.0, 50.0)]
+        assert weights == sorted(weights, reverse=True)

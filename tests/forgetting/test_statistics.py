@@ -1,0 +1,299 @@
+"""Unit and property tests for incremental corpus statistics (§3, §5.1).
+
+The load-bearing property: after any sequence of observe/advance/expire
+operations, every statistic equals what a from-scratch rebuild computes
+at the same clock — Eq. 27-29 are exact, not approximate.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CorpusStatistics, ForgettingModel
+from repro.exceptions import (
+    ConfigurationError,
+    EmptyCorpusError,
+    UnknownDocumentError,
+)
+from tests.conftest import make_document
+
+
+def doc_batch(prefix, start_id, n, timestamp, terms_range=8):
+    return [
+        make_document(
+            f"{prefix}{start_id + i}",
+            timestamp,
+            {(start_id + i + j) % terms_range: 1 + j for j in range(3)},
+        )
+        for i in range(n)
+    ]
+
+
+@pytest.fixture
+def model():
+    return ForgettingModel(half_life=7.0, life_span=14.0)
+
+
+class TestWeights:
+    def test_new_document_weight_is_one(self, model):
+        stats = CorpusStatistics(model)
+        stats.observe([make_document("a", 0.0, {0: 1})], at_time=0.0)
+        assert stats.dw("a") == 1.0
+
+    def test_decay_follows_eq27(self, model):
+        stats = CorpusStatistics(model)
+        stats.observe([make_document("a", 0.0, {0: 1})], at_time=0.0)
+        stats.advance_to(7.0)
+        assert math.isclose(stats.dw("a"), 0.5)
+        stats.advance_to(14.0)
+        assert math.isclose(stats.dw("a"), 0.25)
+
+    def test_tdw_follows_eq28(self, model):
+        """tdw|τ+Δτ = λ^Δτ · tdw|τ + m'."""
+        stats = CorpusStatistics(model)
+        stats.observe([make_document("a", 0.0, {0: 1})], at_time=0.0)
+        tdw_before = stats.tdw
+        stats.observe(
+            [make_document("b", 7.0, {0: 1}),
+             make_document("c", 7.0, {1: 1})],
+            at_time=7.0,
+        )
+        expected = model.decay_over(7.0) * tdw_before + 2
+        assert math.isclose(stats.tdw, expected)
+
+    def test_backdated_document_gets_decayed_weight(self, model):
+        stats = CorpusStatistics(model)
+        stats.observe([make_document("a", 0.0, {0: 1})], at_time=7.0)
+        assert math.isclose(stats.dw("a"), 0.5)
+
+    def test_future_document_rejected(self, model):
+        stats = CorpusStatistics(model)
+        with pytest.raises(ConfigurationError):
+            stats.observe([make_document("a", 5.0, {0: 1})], at_time=0.0)
+
+    def test_clock_cannot_go_backwards(self, model):
+        stats = CorpusStatistics(model)
+        stats.observe([make_document("a", 0.0, {0: 1})], at_time=5.0)
+        with pytest.raises(ConfigurationError):
+            stats.advance_to(4.0)
+
+    def test_duplicate_insert_rejected(self, model):
+        stats = CorpusStatistics(model)
+        doc = make_document("a", 0.0, {0: 1})
+        stats.observe([doc], at_time=0.0)
+        with pytest.raises(ConfigurationError):
+            stats.observe([doc], at_time=1.0)
+
+
+class TestProbabilities:
+    def test_pr_document_sums_to_one(self, model):
+        stats = CorpusStatistics(model)
+        stats.observe(doc_batch("d", 0, 5, 0.0), at_time=0.0)
+        stats.observe(doc_batch("d", 5, 3, 4.0), at_time=4.0)
+        total = sum(stats.pr_document(i) for i in stats.doc_ids())
+        assert math.isclose(total, 1.0)
+
+    def test_pr_term_sums_to_one(self, model):
+        """Σ_k Pr(t_k) = Σ_k Σ_i Pr(t_k|d_i)Pr(d_i) = Σ_i Pr(d_i) = 1."""
+        stats = CorpusStatistics(model)
+        stats.observe(doc_batch("d", 0, 6, 0.0), at_time=0.0)
+        stats.advance_to(3.0)
+        total = sum(stats.term_probabilities().values())
+        assert math.isclose(total, 1.0)
+
+    def test_newer_document_more_probable(self, model):
+        stats = CorpusStatistics(model)
+        stats.observe([make_document("old", 0.0, {0: 1})], at_time=0.0)
+        stats.observe([make_document("new", 7.0, {0: 1})], at_time=7.0)
+        assert stats.pr_document("new") > stats.pr_document("old")
+        assert math.isclose(
+            stats.pr_document("new") / stats.pr_document("old"), 2.0
+        )
+
+    def test_pr_unseen_term_zero(self, model):
+        stats = CorpusStatistics(model)
+        stats.observe([make_document("a", 0.0, {0: 1})], at_time=0.0)
+        assert stats.pr_term(999) == 0.0
+        assert stats.idf(999) == 0.0
+
+    def test_pr_document_empty_corpus_raises(self, model):
+        with pytest.raises((EmptyCorpusError, UnknownDocumentError)):
+            CorpusStatistics(model).pr_document("a")
+
+    def test_idf_definition(self, model):
+        stats = CorpusStatistics(model)
+        stats.observe(doc_batch("d", 0, 4, 0.0), at_time=0.0)
+        for term_id in stats.term_ids():
+            assert math.isclose(
+                stats.idf(term_id),
+                1.0 / math.sqrt(stats.pr_term(term_id)),
+            )
+
+
+class TestRemovalAndExpiry:
+    def test_remove_reverses_contributions(self, model):
+        stats = CorpusStatistics(model)
+        stats.observe(doc_batch("d", 0, 4, 0.0), at_time=0.0)
+        reference = CorpusStatistics.from_scratch(
+            model, stats.documents()[1:], at_time=0.0
+        )
+        stats.remove("d0")
+        assert math.isclose(stats.tdw, reference.tdw)
+        for term_id in reference.term_ids():
+            assert math.isclose(
+                stats.pr_term(term_id), reference.pr_term(term_id),
+                rel_tol=1e-9,
+            )
+
+    def test_remove_unknown_raises(self, model):
+        with pytest.raises(UnknownDocumentError):
+            CorpusStatistics(model).remove("ghost")
+
+    def test_expire_drops_only_below_epsilon(self, model):
+        stats = CorpusStatistics(model)
+        stats.observe([make_document("old", 0.0, {0: 1})], at_time=0.0)
+        stats.observe([make_document("mid", 7.0, {0: 1})], at_time=7.0)
+        stats.observe([make_document("new", 15.0, {0: 1})], at_time=15.0)
+        # at t=15: old has λ^15 < ε=λ^14; mid has λ^8 > ε
+        expired = stats.expire()
+        assert [d.doc_id for d in expired] == ["old"]
+        assert set(stats.doc_ids()) == {"mid", "new"}
+
+    def test_from_scratch_applies_expiry(self, model):
+        docs = [
+            make_document("old", 0.0, {0: 1}),
+            make_document("new", 20.0, {0: 1}),
+        ]
+        stats = CorpusStatistics.from_scratch(model, docs, at_time=20.0)
+        assert stats.doc_ids() == ["new"]
+
+    def test_term_vanishes_with_last_holder(self, model):
+        stats = CorpusStatistics(model)
+        stats.observe([make_document("a", 0.0, {42: 3})], at_time=0.0)
+        stats.remove("a")
+        assert stats.pr_term(42) == 0.0
+
+
+class TestIncrementalEqualsFromScratch:
+    def test_simple_sequence(self, model):
+        incremental = CorpusStatistics(model)
+        all_docs = []
+        for day, n in ((0.0, 3), (2.0, 4), (5.0, 2), (9.0, 5)):
+            batch = doc_batch("d", len(all_docs), n, day)
+            all_docs.extend(batch)
+            incremental.observe(batch, at_time=day)
+            incremental.expire()
+            reference = CorpusStatistics.from_scratch(
+                model, all_docs, at_time=day
+            )
+            assert set(incremental.doc_ids()) == set(reference.doc_ids())
+            assert math.isclose(incremental.tdw, reference.tdw,
+                                rel_tol=1e-9)
+            for term_id in reference.term_ids():
+                assert math.isclose(
+                    incremental.pr_term(term_id),
+                    reference.pr_term(term_id),
+                    rel_tol=1e-9,
+                )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+                st.integers(min_value=0, max_value=4),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_random_streams(self, steps):
+        """Any observe/expire schedule matches a from-scratch rebuild."""
+        model = ForgettingModel(half_life=3.0, life_span=9.0)
+        incremental = CorpusStatistics(model)
+        all_docs = []
+        clock = 0.0
+        serial = 0
+        for gap, n in steps:
+            clock += gap
+            batch = doc_batch("d", serial, n, clock)
+            serial += n
+            all_docs.extend(batch)
+            incremental.observe(batch, at_time=clock)
+            incremental.expire()
+        reference = CorpusStatistics.from_scratch(
+            model, all_docs, at_time=clock
+        )
+        assert set(incremental.doc_ids()) == set(reference.doc_ids())
+        assert math.isclose(incremental.tdw, reference.tdw, rel_tol=1e-9)
+        for doc_id in reference.doc_ids():
+            assert math.isclose(
+                incremental.dw(doc_id), reference.dw(doc_id), rel_tol=1e-9
+            )
+        for term_id in reference.term_ids():
+            assert math.isclose(
+                incremental.pr_term(term_id),
+                reference.pr_term(term_id),
+                rel_tol=1e-9,
+            )
+
+    def test_huge_time_jump_does_not_poison_inserts(self):
+        """Regression: one enormous Δτ used to underflow the internal
+        term scale to exactly 0.0, crashing every later insert."""
+        model = ForgettingModel(half_life=0.1)
+        stats = CorpusStatistics(model)
+        stats.observe([make_document("old", 0.0, {0: 2})], at_time=0.0)
+        stats.advance_to(10_000.0)  # λ^100000 underflows to 0.0
+        stats.observe([make_document("new", 10_000.0, {1: 3})],
+                      at_time=10_000.0)
+        assert stats.pr_term(1) > 0.0
+        assert math.isclose(stats.pr_document("new"), 1.0)
+
+    def test_long_stream_scale_folding(self):
+        """A years-long daily stream keeps full precision (the internal
+        global-scale trick must fold before underflow)."""
+        model = ForgettingModel(half_life=0.5, life_span=2.0)
+        stats = CorpusStatistics(model)
+        for day in range(400):
+            stats.observe(
+                [make_document(f"d{day}", float(day), {day % 5: 2})],
+                at_time=float(day),
+            )
+            stats.expire()
+        stats.validate()
+        total = sum(stats.term_probabilities().values())
+        assert math.isclose(total, 1.0, rel_tol=1e-9)
+
+
+class TestClone:
+    def test_clone_is_independent(self, model):
+        stats = CorpusStatistics(model)
+        stats.observe(doc_batch("d", 0, 3, 0.0), at_time=0.0)
+        copy = stats.clone()
+        copy.observe(doc_batch("x", 0, 2, 1.0), at_time=1.0)
+        assert stats.size == 3
+        assert copy.size == 5
+        stats.validate()
+        copy.validate()
+
+    def test_validate_catches_corruption(self, model):
+        stats = CorpusStatistics(model)
+        stats.observe(doc_batch("d", 0, 3, 0.0), at_time=0.0)
+        stats._tdw *= 1.5  # simulate drift
+        with pytest.raises(AssertionError):
+            stats.validate()
+
+
+class TestZeroWeightExpiry:
+    def test_underflowed_docs_expire_even_without_life_span(self):
+        """Regression: with life_span=None a huge gap underflowed all
+        weights to 0.0 yet the docs stayed 'active' with tdw == 0."""
+        model = ForgettingModel(half_life=0.1, life_span=None)
+        stats = CorpusStatistics(model)
+        stats.observe([make_document("old", 0.0, {0: 1})], at_time=0.0)
+        stats.advance_to(10_000.0)
+        expired = stats.expire()
+        assert [d.doc_id for d in expired] == ["old"]
+        assert stats.size == 0

@@ -1,0 +1,78 @@
+"""Integration tests: raw text -> pipeline -> clustering -> evaluation."""
+
+import pytest
+
+from repro import (
+    DocumentRepository,
+    ForgettingModel,
+    IncrementalClusterer,
+    Vocabulary,
+    evaluate_clustering,
+    load_jsonl,
+    save_jsonl,
+    split_into_windows,
+)
+from tests.conftest import build_topic_repository
+
+
+class TestFullPipeline:
+    def test_stream_to_evaluation(self):
+        repo = build_topic_repository(days=10, docs_per_topic_per_day=2)
+        model = ForgettingModel(half_life=7.0, life_span=14.0)
+        clusterer = IncrementalClusterer(model, k=4, seed=42)
+        result = None
+        for day in range(10):
+            batch = [d for d in repo if int(d.timestamp) == day]
+            result = clusterer.process_batch(batch, at_time=float(day + 1))
+        assert result is not None
+        truth = {d.doc_id: d.topic_id for d in repo}
+        evaluation = evaluate_clustering(result.clusters, truth)
+        assert evaluation.micro_f1 > 0.8
+        assert evaluation.n_marked >= 2
+
+    def test_windows_compose_with_clustering(self):
+        repo = build_topic_repository(days=12, docs_per_topic_per_day=2)
+        windows = split_into_windows(repo.documents(), 4.0)
+        assert len(windows) == 3
+        model = ForgettingModel(half_life=7.0, life_span=30.0)
+        clusterer = IncrementalClusterer(model, k=4, seed=0)
+        for window in windows:
+            result = clusterer.process_batch(
+                window.documents, at_time=window.end
+            )
+            assert result.n_documents > 0
+
+    def test_persistence_roundtrip_preserves_clustering(self, tmp_path):
+        """Save -> load -> cluster must equal clustering the original."""
+        repo = build_topic_repository(days=6, seed=3)
+        path = tmp_path / "stream.jsonl"
+        save_jsonl(repo.documents(), repo.vocabulary, path)
+        reloaded_vocab = Vocabulary()
+        reloaded = load_jsonl(path, reloaded_vocab)
+
+        model = ForgettingModel(half_life=7.0, life_span=30.0)
+        original = IncrementalClusterer(model, k=3, seed=1)
+        restored = IncrementalClusterer(model, k=3, seed=1)
+        result_a = original.process_batch(repo.documents(), at_time=6.0)
+        result_b = restored.process_batch(reloaded, at_time=6.0)
+        # same text, same seeds -> identical membership by doc id
+        members_a = sorted(sorted(c) for c in result_a.clusters)
+        members_b = sorted(sorted(c) for c in result_b.clusters)
+        assert members_a == members_b
+
+    def test_mixed_ingestion_paths(self):
+        """add_text and pre-built Documents can share one repository."""
+        repo = DocumentRepository()
+        repo.add_text("text1", 0.0, "stocks fell on market news",
+                      topic_id="finance")
+        counts = repo.pipeline.term_frequencies("stocks rose again")
+        from repro import Document
+        repo.add(Document(
+            doc_id="built1",
+            timestamp=0.5,
+            term_counts=repo.vocabulary.add_counts(counts),
+            topic_id="finance",
+        ))
+        stock_id = repo.vocabulary.id("stock")
+        assert stock_id in repo.get("text1").term_counts
+        assert stock_id in repo.get("built1").term_counts

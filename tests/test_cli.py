@@ -1,0 +1,181 @@
+"""Tests for the command-line interface (invoked in-process)."""
+
+import pytest
+
+from repro.cli import main
+from repro.corpus.loaders import save_jsonl
+from tests.conftest import build_topic_repository
+
+
+@pytest.fixture
+def stream_file(tmp_path):
+    repo = build_topic_repository(days=6, docs_per_topic_per_day=2, seed=1)
+    path = tmp_path / "stream.jsonl"
+    save_jsonl(repo.documents(), repo.vocabulary, path)
+    return path
+
+
+class TestGenerate:
+    def test_writes_scaled_corpus(self, tmp_path, capsys):
+        output = tmp_path / "corpus.jsonl"
+        code = main([
+            "generate", "--output", str(output),
+            "--seed", "5", "--total-docs", "300",
+        ])
+        assert code == 0
+        assert "wrote 300 documents" in capsys.readouterr().out
+        assert output.exists()
+        assert sum(1 for _ in open(output)) == 300
+
+
+class TestCluster:
+    def test_clusters_stream_and_reports(self, stream_file, capsys):
+        code = main([
+            "cluster", "--input", str(stream_file),
+            "--k", "4", "--batch-days", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "final clusters:" in out
+        assert "micro F1" in out  # topic labels present -> evaluation
+
+    def test_quiet_suppresses_batch_lines(self, stream_file, capsys):
+        main([
+            "cluster", "--input", str(stream_file),
+            "--k", "4", "--batch-days", "2", "--quiet",
+        ])
+        out = capsys.readouterr().out
+        assert "t=" not in out
+        assert "final clusters:" in out
+
+    def test_checkpoint_roundtrip(self, stream_file, tmp_path, capsys):
+        state = tmp_path / "state.json"
+        code = main([
+            "cluster", "--input", str(stream_file),
+            "--k", "4", "--batch-days", "3",
+            "--checkpoint", str(state), "--quiet",
+        ])
+        assert code == 0
+        assert state.exists()
+        code = main([
+            "cluster", "--input", str(stream_file),
+            "--resume", str(state), "--batch-days", "3", "--quiet",
+        ])
+        assert code == 0
+        assert "resumed from" in capsys.readouterr().out
+
+    def test_empty_input_fails(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        code = main(["cluster", "--input", str(empty)])
+        assert code == 1
+        assert "no documents" in capsys.readouterr().err
+
+    def test_missing_input_clean_error(self, tmp_path, capsys):
+        code = main(["cluster", "--input", str(tmp_path / "nope.jsonl")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "file not found" in err
+        assert "Traceback" not in err
+
+    def test_bad_parameter_clean_error(self, stream_file, capsys):
+        code = main(["cluster", "--input", str(stream_file), "--k", "0"])
+        assert code == 2
+        assert "k must be >= 1" in capsys.readouterr().err
+
+    def test_corrupt_checkpoint_clean_error(self, stream_file, tmp_path,
+                                            capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{broken")
+        code = main(["cluster", "--input", str(stream_file),
+                     "--resume", str(bad)])
+        assert code == 2
+        assert "invalid JSON" in capsys.readouterr().err
+
+
+class TestExperiments:
+    def test_experiment1_small(self, capsys, monkeypatch):
+        import repro.experiments.experiment1 as exp1
+        from repro.corpus.synthetic import (
+            SyntheticCorpusConfig, TDT2_TOPIC_CATALOG,
+        )
+
+        original = exp1.ExperimentOneConfig
+
+        def small_config(seed, unlabeled_per_day):
+            return original(
+                seed=seed,
+                days=5,
+                k=4,
+                corpus=SyntheticCorpusConfig(
+                    seed=seed,
+                    total_documents=600,
+                    n_topics=len(TDT2_TOPIC_CATALOG),
+                ),
+            )
+
+        monkeypatch.setattr(exp1, "ExperimentOneConfig", small_config)
+        code = main(["experiment1", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "speedup" in out
+
+    def test_experiment2_selected_window(self, capsys, monkeypatch):
+        import repro.experiments.experiment2 as exp2
+        from repro.corpus.synthetic import (
+            SyntheticCorpusConfig, TDT2_TOPIC_CATALOG,
+        )
+
+        original_init = exp2.ExperimentTwoConfig
+
+        def small_config(seed, betas):
+            return original_init(
+                seed=seed, betas=betas, k=6,
+                corpus=SyntheticCorpusConfig(
+                    seed=seed,
+                    total_documents=800,
+                    n_topics=len(TDT2_TOPIC_CATALOG),
+                ),
+            )
+
+        monkeypatch.setattr(exp2, "ExperimentTwoConfig", small_config)
+        code = main([
+            "experiment2", "--seed", "3", "--windows", "1", "--betas", "7",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "Table 4" in out
+
+
+class TestReport:
+    def test_quick_report_to_file(self, tmp_path, capsys):
+        output = tmp_path / "report.md"
+        code = main(["report", "--quick", "--seed", "5",
+                     "--output", str(output)])
+        assert code == 0
+        text = output.read_text()
+        assert "# Reproduction report" in text
+        assert "Table 1" in text
+        assert "Table 4" in text
+        assert "speedup" in text
+
+    def test_quick_report_to_stdout(self, capsys):
+        code = main(["report", "--quick", "--seed", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "## Table 2" in out
+
+
+class TestParser:
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main([])
+        assert excinfo.value.code == 2

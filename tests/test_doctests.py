@@ -1,0 +1,37 @@
+"""Run the doctests embedded in module and class docstrings.
+
+Keeps every ``>>>`` example in the documentation honest.
+"""
+
+import doctest
+
+import pytest
+
+import repro.eval.contingency
+import repro.experiments.reporting
+import repro.forgetting.model
+import repro.text.pipeline
+import repro.text.stemmer
+import repro.text.tokenizer
+import repro.text.vocabulary
+import repro.vectors.sparse
+
+MODULES = [
+    repro.text.stemmer,
+    repro.text.vocabulary,
+    repro.text.pipeline,
+    repro.vectors.sparse,
+    repro.forgetting.model,
+    repro.experiments.reporting,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=lambda m: m.__name__
+)
+def test_module_doctests(module):
+    results = doctest.testmod(
+        module, optionflags=doctest.NORMALIZE_WHITESPACE, verbose=False
+    )
+    assert results.failed == 0, f"{module.__name__}: {results.failed} failed"
+    assert results.attempted > 0, f"{module.__name__} has no doctests"

@@ -1,0 +1,185 @@
+"""Tests for checkpoint save/restore of the on-line clusterer."""
+
+import json
+import math
+
+import pytest
+
+from repro import (
+    CheckpointError,
+    ForgettingModel,
+    IncrementalClusterer,
+    load_checkpoint,
+    save_checkpoint,
+)
+from tests.conftest import build_topic_repository
+
+
+def run_stream(clusterer, repo, days, start=0):
+    result = None
+    for day in range(start, days):
+        batch = [d for d in repo if int(d.timestamp) == day]
+        if batch:
+            result = clusterer.process_batch(batch, at_time=float(day + 1))
+        else:
+            clusterer.statistics.advance_to(float(day + 1))
+    return result
+
+
+@pytest.fixture
+def stream():
+    return build_topic_repository(days=10, docs_per_topic_per_day=2, seed=3)
+
+
+class TestRoundTrip:
+    def test_statistics_restored_exactly(self, stream, tmp_path):
+        model = ForgettingModel(half_life=4.0, life_span=8.0)
+        clusterer = IncrementalClusterer(model, k=3, seed=1)
+        run_stream(clusterer, stream, days=6)
+        path = tmp_path / "state.json"
+        save_checkpoint(clusterer, stream.vocabulary, path)
+
+        restored, vocab = load_checkpoint(path, stream.vocabulary)
+        live, back = clusterer.statistics, restored.statistics
+        assert set(live.doc_ids()) == set(back.doc_ids())
+        assert math.isclose(live.tdw, back.tdw, rel_tol=1e-12)
+        assert live.now == back.now
+        for term_id in live.term_ids():
+            assert math.isclose(
+                live.pr_term(term_id), back.pr_term(term_id),
+                rel_tol=1e-9,
+            )
+
+    def test_assignment_restored(self, stream, tmp_path):
+        model = ForgettingModel(half_life=4.0, life_span=8.0)
+        clusterer = IncrementalClusterer(model, k=3, seed=1)
+        run_stream(clusterer, stream, days=6)
+        path = tmp_path / "state.json"
+        save_checkpoint(clusterer, stream.vocabulary, path)
+        restored, _ = load_checkpoint(path, stream.vocabulary)
+        assert restored.assignments() == clusterer.assignments()
+
+    def test_continuation_matches_uninterrupted_run(self, stream, tmp_path):
+        """Checkpoint at day 6, continue to day 10: same clustering as a
+        run that never stopped (determinism across restore)."""
+        model = ForgettingModel(half_life=4.0, life_span=8.0)
+        continuous = IncrementalClusterer(model, k=3, seed=1)
+        run_stream(continuous, stream, days=6)
+        path = tmp_path / "state.json"
+        save_checkpoint(continuous, stream.vocabulary, path)
+        final_continuous = run_stream(continuous, stream, days=10, start=6)
+
+        restored, _ = load_checkpoint(path, stream.vocabulary)
+        final_restored = run_stream(restored, stream, days=10, start=6)
+
+        assert (
+            sorted(map(sorted, final_restored.clusters))
+            == sorted(map(sorted, final_continuous.clusters))
+        )
+        assert set(final_restored.outliers) == set(final_continuous.outliers)
+
+    def test_fresh_vocabulary_grows_consistently(self, stream, tmp_path):
+        model = ForgettingModel(half_life=4.0, life_span=8.0)
+        clusterer = IncrementalClusterer(model, k=3, seed=1)
+        run_stream(clusterer, stream, days=6)
+        path = tmp_path / "state.json"
+        save_checkpoint(clusterer, stream.vocabulary, path)
+        restored, vocab = load_checkpoint(path)  # no vocabulary given
+        assert vocab is not stream.vocabulary
+        assert len(vocab) > 0
+        # same statistics despite different term ids
+        assert math.isclose(
+            restored.statistics.tdw, clusterer.statistics.tdw,
+            rel_tol=1e-12,
+        )
+
+    def test_config_preserved(self, stream, tmp_path):
+        model = ForgettingModel(half_life=4.0, life_span=8.0)
+        clusterer = IncrementalClusterer(
+            model, k=5, delta=0.02, max_iterations=17, seed=9,
+            engine="sparse", warm_start=False, rescue_outliers=False,
+        )
+        run_stream(clusterer, stream, days=3)
+        path = tmp_path / "state.json"
+        save_checkpoint(clusterer, stream.vocabulary, path)
+        restored, _ = load_checkpoint(path, stream.vocabulary)
+        km = restored.kmeans
+        assert (km.k, km.delta, km.max_iterations, km.seed, km.engine) == (
+            5, 0.02, 17, 9, "sparse",
+        )
+        assert restored.warm_start is False
+        assert km.rescue_outliers is False
+        assert restored.model.half_life == 4.0
+
+
+class TestErrors:
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(CheckpointError, match="invalid JSON"):
+            load_checkpoint(path)
+
+    def test_wrong_format(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(CheckpointError, match="not a repro checkpoint"):
+            load_checkpoint(path)
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "v99.json"
+        path.write_text(json.dumps(
+            {"format": "repro-checkpoint", "version": 99}
+        ))
+        with pytest.raises(CheckpointError, match="version"):
+            load_checkpoint(path)
+
+    def test_missing_field(self, tmp_path):
+        path = tmp_path / "partial.json"
+        path.write_text(json.dumps(
+            {"format": "repro-checkpoint", "version": 1,
+             "model": {"half_life": 7.0, "life_span": None}}
+        ))
+        with pytest.raises(CheckpointError, match="missing field"):
+            load_checkpoint(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(tmp_path / "ghost.json")
+
+
+class TestMalformedNested:
+    def test_missing_nested_key_raises_checkpoint_error(self, tmp_path):
+        path = tmp_path / "nested.json"
+        path.write_text(json.dumps({
+            "format": "repro-checkpoint", "version": 1,
+            "model": {"half_life": 7.0},  # life_span missing
+            "kmeans": {}, "now": 0.0, "documents": [], "assignment": {},
+        }))
+        with pytest.raises(CheckpointError, match="malformed"):
+            load_checkpoint(path)
+
+
+class TestFreshClustererCheckpoint:
+    def test_checkpoint_before_any_batch_roundtrips(self, tmp_path):
+        """Regression: 'now: null' checkpoints used to crash on load."""
+        from repro import Vocabulary
+
+        model = ForgettingModel(half_life=4.0, life_span=8.0)
+        clusterer = IncrementalClusterer(model, k=3, seed=1)
+        path = tmp_path / "fresh.json"
+        save_checkpoint(clusterer, Vocabulary(), path)
+        restored, _ = load_checkpoint(path)
+        assert restored.statistics.size == 0
+        assert restored.statistics.now is None
+
+    def test_bad_criterion_rejected(self, tmp_path, stream):
+        model = ForgettingModel(half_life=4.0, life_span=8.0)
+        clusterer = IncrementalClusterer(model, k=3, seed=1)
+        run_stream(clusterer, stream, days=3)
+        path = tmp_path / "state.json"
+        save_checkpoint(clusterer, stream.vocabulary, path)
+        state = json.loads(path.read_text())
+        state["kmeans"]["criterion"] = "gg-typo"
+        path.write_text(json.dumps(state))
+        with pytest.raises(CheckpointError, match="criterion"):
+            load_checkpoint(path, stream.vocabulary)

@@ -1,0 +1,106 @@
+"""Tests for the shared validation helpers and the exception hierarchy."""
+
+import math
+
+import pytest
+
+from repro import (
+    ClusteringError,
+    ConfigurationError,
+    DuplicateDocumentError,
+    EmptyCorpusError,
+    NotFittedError,
+    ReproError,
+    UnknownDocumentError,
+    VocabularyFrozenError,
+)
+from repro._validation import (
+    require_finite_number,
+    require_in_open_interval,
+    require_non_negative,
+    require_non_negative_int,
+    require_positive,
+    require_positive_int,
+    require_probability,
+)
+
+
+class TestNumericValidators:
+    def test_require_positive_accepts(self):
+        assert require_positive("x", 1.5) == 1.5
+        assert require_positive("x", 1) == 1.0
+
+    @pytest.mark.parametrize("value", [0, -1, -0.5])
+    def test_require_positive_rejects(self, value):
+        with pytest.raises(ConfigurationError, match="x must be > 0"):
+            require_positive("x", value)
+
+    def test_require_non_negative(self):
+        assert require_non_negative("x", 0) == 0.0
+        with pytest.raises(ConfigurationError):
+            require_non_negative("x", -0.1)
+
+    @pytest.mark.parametrize("value", [float("nan"), float("inf"),
+                                       float("-inf")])
+    def test_non_finite_rejected_everywhere(self, value):
+        for checker in (require_positive, require_non_negative,
+                        require_finite_number, require_probability):
+            with pytest.raises(ConfigurationError):
+                checker("x", value)
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(ConfigurationError, match="must be a number"):
+            require_finite_number("x", "seven")
+
+    def test_bool_is_not_a_number_here(self):
+        with pytest.raises(ConfigurationError):
+            require_finite_number("x", True)
+
+    def test_open_interval(self):
+        assert require_in_open_interval("x", 0.5, 0.0, 1.0) == 0.5
+        for value in (0.0, 1.0, -1.0, 2.0):
+            with pytest.raises(ConfigurationError):
+                require_in_open_interval("x", value, 0.0, 1.0)
+
+    def test_probability(self):
+        assert require_probability("x", 0.0) == 0.0
+        assert require_probability("x", 1.0) == 1.0
+        with pytest.raises(ConfigurationError):
+            require_probability("x", 1.01)
+
+
+class TestIntValidators:
+    def test_positive_int(self):
+        assert require_positive_int("n", 3) == 3
+        for value in (0, -1, 1.5, "3", True):
+            with pytest.raises(ConfigurationError):
+                require_positive_int("n", value)
+
+    def test_non_negative_int(self):
+        assert require_non_negative_int("n", 0) == 0
+        for value in (-1, 0.0, False):
+            with pytest.raises(ConfigurationError):
+                require_non_negative_int("n", value)
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize("exc", [
+        ConfigurationError, EmptyCorpusError, UnknownDocumentError,
+        DuplicateDocumentError, ClusteringError, NotFittedError,
+        VocabularyFrozenError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_configuration_error_is_value_error(self):
+        """Callers using stdlib idioms still catch our errors."""
+        assert issubclass(ConfigurationError, ValueError)
+        assert issubclass(DuplicateDocumentError, ValueError)
+        assert issubclass(UnknownDocumentError, KeyError)
+        assert issubclass(NotFittedError, RuntimeError)
+
+    def test_catching_base_class_in_practice(self):
+        from repro import ForgettingModel
+
+        with pytest.raises(ReproError):
+            ForgettingModel(half_life=-1.0)

@@ -1,0 +1,104 @@
+"""Unit tests for repro.text.TextPipeline."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text import TextPipeline, Tokenizer
+
+
+class TestPipelineStages:
+    def test_full_pipeline(self):
+        tf = TextPipeline().term_frequencies(
+            "The markets rallied; markets rose."
+        )
+        assert tf == {"market": 2, "ralli": 1, "rose": 1}
+
+    def test_stopwords_removed_before_stemming(self):
+        # "was" is a stopword; if stemmed first it would become "wa"
+        assert TextPipeline().terms("was") == []
+
+    def test_no_stemmer(self):
+        pipeline = TextPipeline(stemmer=None)
+        assert pipeline.terms("markets rallied") == ["markets", "rallied"]
+
+    def test_custom_stopwords(self):
+        pipeline = TextPipeline(stopwords=frozenset({"markets"}),
+                                stemmer=None)
+        assert pipeline.terms("the markets fell") == ["the", "fell"]
+
+    def test_empty_stopword_set_keeps_everything(self):
+        pipeline = TextPipeline(stopwords=frozenset(), stemmer=None)
+        assert pipeline.terms("the cat") == ["the", "cat"]
+
+    def test_custom_tokenizer(self):
+        pipeline = TextPipeline(tokenizer=Tokenizer(min_length=6),
+                                stemmer=None)
+        assert pipeline.terms("short longerword") == ["longerword"]
+
+    def test_empty_text(self):
+        assert TextPipeline().term_frequencies("") == {}
+
+    def test_terms_preserve_order(self):
+        assert TextPipeline(stemmer=None).terms("zebra apple") == [
+            "zebra", "apple",
+        ]
+
+    def test_batch(self):
+        batch = TextPipeline().batch_term_frequencies(
+            ["markets fell", "markets rose"]
+        )
+        assert len(batch) == 2
+        assert batch[0]["market"] == 1
+
+
+class TestNgrams:
+    def test_bigrams_appended(self):
+        pipeline = TextPipeline(stemmer=None, max_ngram=2)
+        assert pipeline.terms("stock market crash") == [
+            "stock", "market", "crash", "stock_market", "market_crash",
+        ]
+
+    def test_trigram(self):
+        pipeline = TextPipeline(stemmer=None, max_ngram=3)
+        terms = pipeline.terms("big bad wolf")
+        assert "big_bad_wolf" in terms
+        assert "big_bad" in terms
+
+    def test_stopword_breaks_window_semantics(self):
+        pipeline = TextPipeline(stemmer=None, max_ngram=2)
+        # "of" is removed, the bigram bridges the gap by design
+        assert "bank_england" in pipeline.terms("bank of england")
+
+    def test_short_text_no_ngrams(self):
+        pipeline = TextPipeline(stemmer=None, max_ngram=2)
+        assert pipeline.terms("solo") == ["solo"]
+
+    def test_ngrams_stemmed_components(self):
+        pipeline = TextPipeline(max_ngram=2)
+        assert "market_ralli" in pipeline.terms("markets rallied")
+
+    def test_invalid_max_ngram(self):
+        with pytest.raises(ValueError):
+            TextPipeline(max_ngram=0)
+
+    def test_counts_include_ngrams(self):
+        pipeline = TextPipeline(stemmer=None, max_ngram=2)
+        counts = pipeline.term_frequencies("ab cd ab cd")
+        assert counts["ab_cd"] == 2
+        assert counts["cd_ab"] == 1
+
+
+class TestPipelineProperties:
+    @given(st.text(max_size=300))
+    def test_counts_sum_to_term_sequence_length(self, text):
+        pipeline = TextPipeline()
+        terms = pipeline.terms(text)
+        counts = pipeline.term_frequencies(text)
+        assert sum(counts.values()) == len(terms)
+        assert set(counts) == set(terms)
+
+    @given(st.text(max_size=300))
+    def test_all_counts_positive(self, text):
+        for count in TextPipeline().term_frequencies(text).values():
+            assert count >= 1

@@ -1,0 +1,37 @@
+"""Unit tests for the stop-word list."""
+
+from repro.text import DEFAULT_STOPWORDS, is_stopword
+
+
+class TestStopwords:
+    def test_common_function_words_present(self):
+        for word in ("the", "and", "of", "to", "is", "was", "because"):
+            assert is_stopword(word), word
+
+    def test_contractions_present(self):
+        for word in ("don't", "won't", "isn't", "it's"):
+            assert is_stopword(word), word
+
+    def test_news_wire_extras_present(self):
+        for word in ("mr", "mrs", "monday", "yesterday"):
+            assert is_stopword(word), word
+
+    def test_content_words_absent(self):
+        for word in ("market", "election", "olympics", "iraq", "tobacco"):
+            assert not is_stopword(word), word
+
+    def test_case_sensitive_lowercase_only(self):
+        # the pipeline lowercases before the stop check
+        assert not is_stopword("The")
+
+    def test_frozen(self):
+        assert isinstance(DEFAULT_STOPWORDS, frozenset)
+
+    def test_extension_pattern(self):
+        extended = DEFAULT_STOPWORDS | {"reuters"}
+        assert "reuters" in extended
+        assert "reuters" not in DEFAULT_STOPWORDS
+
+    def test_no_empty_entries(self):
+        assert "" not in DEFAULT_STOPWORDS
+        assert all(word == word.strip() for word in DEFAULT_STOPWORDS)

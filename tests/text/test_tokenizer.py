@@ -1,0 +1,121 @@
+"""Unit tests for repro.text.tokenizer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.text import Tokenizer, tokenize
+
+
+class TestBasicTokenization:
+    def test_splits_on_whitespace(self):
+        assert tokenize("asian markets fell") == ["asian", "markets", "fell"]
+
+    def test_lowercases(self):
+        assert tokenize("Asian MARKETS Fell") == ["asian", "markets", "fell"]
+
+    def test_strips_punctuation(self):
+        assert tokenize("Hello, world! (Really?)") == [
+            "hello", "world", "really",
+        ]
+
+    def test_keeps_internal_apostrophe(self):
+        assert tokenize("o'brien's") == ["o'brien's"]
+
+    def test_keeps_internal_hyphen(self):
+        assert tokenize("mid-east peace") == ["mid-east", "peace"]
+
+    def test_strips_leading_trailing_apostrophe(self):
+        assert tokenize("'quoted'") == ["quoted"]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_whitespace_only(self):
+        assert tokenize(" \t\n ") == []
+
+    def test_punctuation_only(self):
+        assert tokenize("... !!! ???") == []
+
+    def test_unicode_text_keeps_ascii_tokens(self):
+        assert tokenize("café résumé news") == [
+            "caf", "sum", "news",
+        ]
+
+    def test_order_preserved(self):
+        assert tokenize("cc bb aa") == ["cc", "bb", "aa"]
+
+    def test_repeated_tokens_kept(self):
+        assert tokenize("spam spam spam") == ["spam"] * 3
+
+
+class TestNumberHandling:
+    def test_year_kept_by_default(self):
+        assert "1998" in tokenize("the 1998 olympics")
+
+    def test_short_number_dropped_by_default(self):
+        assert tokenize("12 teams") == ["teams"]
+
+    def test_keep_numbers_false_drops_all_digit_tokens(self):
+        tok = Tokenizer(keep_numbers=False)
+        assert tok.tokens("1998 olympics 42") == ["olympics"]
+
+    def test_min_number_length_configurable(self):
+        tok = Tokenizer(min_number_length=2)
+        assert tok.tokens("12 teams") == ["12", "teams"]
+
+    def test_alphanumeric_token_not_treated_as_number(self):
+        assert tokenize("b2b sales") == ["b2b", "sales"]
+
+
+class TestConfiguration:
+    def test_min_length_filters_short_tokens(self):
+        tok = Tokenizer(min_length=4)
+        assert tok.tokens("the cat meowed") == ["meowed"]
+
+    def test_min_length_one_keeps_single_letters(self):
+        tok = Tokenizer(min_length=1)
+        assert tok.tokens("a b c") == ["a", "b", "c"]
+
+    def test_invalid_min_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Tokenizer(min_length=0)
+
+    def test_invalid_min_number_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Tokenizer(min_number_length=-1)
+
+    def test_non_string_input_rejected(self):
+        with pytest.raises(TypeError):
+            tokenize(42)  # type: ignore[arg-type]
+
+    def test_iter_tokens_is_lazy(self):
+        tok = Tokenizer()
+        iterator = tok.iter_tokens("one two")
+        assert next(iterator) == "one"
+        assert next(iterator) == "two"
+
+
+class TestTokenizerProperties:
+    @given(st.text(max_size=200))
+    def test_never_raises_and_tokens_are_lowercase(self, text):
+        for token in tokenize(text):
+            assert token == token.lower()
+
+    @given(st.text(max_size=200))
+    def test_tokens_meet_min_length(self, text):
+        tok = Tokenizer(min_length=3)
+        for token in tok.tokens(text):
+            assert len(token) >= 3
+
+    @given(st.text(alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+                   min_size=2, max_size=20))
+    def test_pure_word_roundtrips(self, word):
+        assert tokenize(word) == [word]
+
+    @given(st.lists(st.text(alphabet="abcdefg", min_size=2, max_size=8),
+                    max_size=20))
+    def test_token_count_matches_word_count(self, words):
+        text = " ".join(words)
+        assert len(tokenize(text)) == len(words)

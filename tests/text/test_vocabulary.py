@@ -1,0 +1,92 @@
+"""Unit tests for repro.text.Vocabulary."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import VocabularyFrozenError
+from repro.text import Vocabulary
+
+
+class TestVocabulary:
+    def test_ids_are_dense_and_first_seen(self):
+        vocab = Vocabulary()
+        assert vocab.add("stock") == 0
+        assert vocab.add("market") == 1
+        assert vocab.add("stock") == 0
+
+    def test_roundtrip_term_id(self):
+        vocab = Vocabulary(["alpha", "beta"])
+        assert vocab.term(vocab.id("beta")) == "beta"
+
+    def test_id_raises_for_unknown(self):
+        with pytest.raises(KeyError):
+            Vocabulary().id("missing")
+
+    def test_get_with_default(self):
+        vocab = Vocabulary(["x"])
+        assert vocab.get("x") == 0
+        assert vocab.get("missing") == -1
+        assert vocab.get("missing", default=99) == 99
+
+    def test_contains_and_len(self):
+        vocab = Vocabulary(["a1", "b1"])
+        assert "a1" in vocab
+        assert "c1" not in vocab
+        assert len(vocab) == 2
+
+    def test_iteration_order_matches_ids(self):
+        vocab = Vocabulary(["z1", "a1", "m1"])
+        assert list(vocab) == ["z1", "a1", "m1"]
+
+    def test_add_counts_maps_terms_to_ids(self):
+        vocab = Vocabulary()
+        mapped = vocab.add_counts({"cat": 2, "dog": 1})
+        assert mapped == {vocab.id("cat"): 2, vocab.id("dog"): 1}
+
+    def test_add_counts_grows_vocabulary(self):
+        vocab = Vocabulary(["cat"])
+        vocab.add_counts({"dog": 1})
+        assert "dog" in vocab
+
+    def test_duplicate_constructor_terms_deduplicated(self):
+        vocab = Vocabulary(["a1", "a1", "b1"])
+        assert len(vocab) == 2
+
+
+class TestFreezing:
+    def test_freeze_blocks_new_terms(self):
+        vocab = Vocabulary(["known"])
+        vocab.freeze()
+        with pytest.raises(VocabularyFrozenError):
+            vocab.add("new")
+
+    def test_freeze_allows_existing_terms(self):
+        vocab = Vocabulary(["known"])
+        vocab.freeze()
+        assert vocab.add("known") == 0
+
+    def test_frozen_property(self):
+        vocab = Vocabulary()
+        assert not vocab.frozen
+        vocab.freeze()
+        assert vocab.frozen
+
+
+class TestVocabularyProperties:
+    @given(st.lists(st.text(alphabet="abcdef", min_size=1, max_size=6),
+                    max_size=50))
+    def test_ids_bijective(self, terms):
+        vocab = Vocabulary()
+        for term in terms:
+            vocab.add(term)
+        assert len(vocab) == len(set(terms))
+        for term in set(terms):
+            assert vocab.term(vocab.id(term)) == term
+
+    @given(st.lists(st.text(alphabet="abcdef", min_size=1, max_size=6),
+                    min_size=1, max_size=50))
+    def test_ids_contiguous_from_zero(self, terms):
+        vocab = Vocabulary(terms)
+        ids = sorted(vocab.id(t) for t in set(terms))
+        assert ids == list(range(len(ids)))
