@@ -6,6 +6,7 @@
     repro cluster  --input stream.jsonl [--k N] [--half-life D]
                    [--life-span D] [--batch-days D]
                    [--checkpoint state.json] [--resume state.json]
+                   [--trace trace.jsonl]
     repro experiment1 [--unlabeled-per-day N]
     repro experiment2 [--windows 1,4] [--betas 7,30]
 
@@ -70,6 +71,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="resume from a checkpoint written earlier")
     cluster.add_argument("--quiet", action="store_true",
                          help="only print the final report")
+    cluster.add_argument("--trace", default=None, metavar="PATH",
+                         help="write pipeline observability events "
+                              "(phase spans, counters, gauges) to this "
+                              "path as JSON Lines")
 
     experiment1 = commands.add_parser(
         "experiment1", help="regenerate Table 1 (timing comparison)"
@@ -113,9 +118,23 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_cluster(args: argparse.Namespace) -> int:
+    if args.trace:
+        from .obs import JsonlRecorder
+
+        with JsonlRecorder(args.trace) as recorder:
+            status = _run_cluster(args, recorder)
+        print(f"trace written to {args.trace} "
+              f"({recorder.events_written} events)")
+        return status
+    return _run_cluster(args, None)
+
+
+def _run_cluster(args: argparse.Namespace, recorder) -> int:
     vocabulary = Vocabulary()
     if args.resume:
         clusterer, vocabulary = load_checkpoint(args.resume, vocabulary)
+        if recorder is not None:
+            clusterer.set_recorder(recorder)
         print(f"resumed from {args.resume}: "
               f"{clusterer.statistics.size} active documents at "
               f"t={clusterer.statistics.now} "
@@ -127,7 +146,9 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         model = ForgettingModel(
             half_life=args.half_life, life_span=args.life_span
         )
-        clusterer = IncrementalClusterer(model, k=args.k, seed=args.seed)
+        clusterer = IncrementalClusterer(
+            model, k=args.k, seed=args.seed, recorder=recorder
+        )
 
     documents = load_jsonl(args.input, vocabulary)
     documents.sort(key=lambda d: d.timestamp)

@@ -17,18 +17,28 @@ random seeds.
 Both expose the same ``process_batch`` interface and record per-phase
 timings on the returned :class:`~repro.core.ClusteringResult`, which is
 what the Table 1 benchmark measures.
+
+**Batch ingestion is transactional** in both pipelines: a batch either
+fully updates the state (statistics, assignments, archive, history) or
+leaves it exactly as it was. Rejections — a future-dated or duplicate
+document, the cold-start guard, a clustering failure — restore the
+pre-batch state, so the corrected batch can simply be re-sent.
+
+Both pipelines emit structured observability events (phase spans,
+batch counters, the warm-start reuse ratio) through :mod:`repro.obs`;
+pass ``recorder=`` or install an ambient recorder to collect them.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import time as time_module
 from typing import Dict, Iterable, List, Optional
 
 from ..corpus.document import Document
 from ..exceptions import ClusteringError
 from ..forgetting.model import ForgettingModel
 from ..forgetting.statistics import CorpusStatistics
+from ..obs import Recorder, Span, resolve
 from .kmeans import NoveltyKMeans
 from .result import ClusteringResult
 
@@ -51,8 +61,10 @@ class IncrementalClusterer:
         engine: str = "dense",
         warm_start: bool = True,
         rescue_outliers: bool = True,
+        recorder: Optional[Recorder] = None,
     ) -> None:
         self.model = model
+        self.recorder = resolve(recorder)
         # rescue_outliers defaults on here (unlike NoveltyKMeans): under
         # warm starts an emerging topic would otherwise never obtain a
         # cluster slot; see NoveltyKMeans for the mechanism.
@@ -63,9 +75,10 @@ class IncrementalClusterer:
             seed=seed,
             engine=engine,
             rescue_outliers=rescue_outliers,
+            recorder=self.recorder,
         )
         self.warm_start = bool(warm_start)
-        self.statistics = CorpusStatistics(model)
+        self.statistics = CorpusStatistics(model, recorder=self.recorder)
         self.history: List[ClusteringResult] = []
         self._assignment: Dict[str, int] = {}
 
@@ -73,51 +86,98 @@ class IncrementalClusterer:
     def last_result(self) -> Optional[ClusteringResult]:
         return self.history[-1] if self.history else None
 
+    def set_recorder(self, recorder: Optional[Recorder]) -> None:
+        """Attach ``recorder`` to the pipeline and all its components.
+
+        Useful after :func:`repro.persistence.load_checkpoint`, which
+        builds the pipeline before a trace sink exists.
+        """
+        resolved = resolve(recorder)
+        self.recorder = resolved
+        self.kmeans.recorder = resolved
+        self.statistics.recorder = resolved
+
     def process_batch(
         self, documents: Iterable[Document], at_time: float
     ) -> ClusteringResult:
         """Ingest a batch arriving at ``at_time`` and re-cluster.
 
         Returns the new clustering; ``result.timings`` holds the
-        ``"statistics"`` (incremental update + expiry) and
-        ``"clustering"`` phase durations in seconds.
+        ``"statistics"`` (incremental update + expiry),
+        ``"vectorisation"``, and ``"clustering"`` phase durations in
+        seconds.
+
+        The ingestion is transactional: if the batch is invalid, the
+        cold-start guard fires, or the clustering itself fails, the
+        statistics and assignments are restored to their pre-batch
+        state before the exception propagates, so the same (corrected)
+        documents can be re-sent with a later batch.
         """
         batch = list(documents)
         if not (self.warm_start and self._assignment):
-            # a cold start needs at least k documents; check before the
-            # statistics are mutated, or a failed batch would poison
-            # the state (the documents would already be ingested)
+            # cheap pre-check before any mutation: a cold start can
+            # never succeed with fewer than k documents overall
             if self.statistics.size + len(batch) < self.kmeans.k:
                 raise ClusteringError(
                     f"cold start needs at least k={self.kmeans.k} "
                     f"documents; have {self.statistics.size} active "
                     f"+ {len(batch)} new"
                 )
-        stats_start = time_module.perf_counter()
-        self.statistics.observe(batch, at_time)
-        expired = self.statistics.expire()
-        for doc in expired:
-            self._assignment.pop(doc.doc_id, None)
-        stats_elapsed = time_module.perf_counter() - stats_start
+        # transaction snapshot: clone() shares immutable documents, so
+        # this is two dict copies — far cheaper than the decay pass
+        # observe() is about to do over the same entries
+        snapshot = self.statistics.clone()
+        previous_assignment = dict(self._assignment)
+        try:
+            with Span(self.recorder, "pipeline.statistics",
+                      {"batch": len(batch)}) as stats_span:
+                self.statistics.observe(batch, at_time)
+                expired = self.statistics.expire()
+                for doc in expired:
+                    self._assignment.pop(doc.doc_id, None)
 
-        active = self.statistics.documents()
-        if not active:
-            raise ClusteringError(
-                f"no active documents at t={at_time} "
-                f"(all expired; life_span={self.model.life_span})"
-            )
-        initial = (
-            dict(self._assignment)
-            if self.warm_start and self._assignment
-            else None
-        )
-        result = self.kmeans.fit(active, self.statistics, initial)
+            active = self.statistics.documents()
+            warm = self.warm_start and bool(self._assignment)
+            if not warm and len(active) < self.kmeans.k:
+                # step 2 can expire both old documents and backdated
+                # batch members, so the pre-check above is not enough:
+                # re-check the *active* count or NoveltyKMeans.fit
+                # would raise after the statistics were mutated
+                raise ClusteringError(
+                    f"cold start needs at least k={self.kmeans.k} active "
+                    f"documents after expiry at t={at_time}; have "
+                    f"{len(active)} (life_span={self.model.life_span})"
+                )
+            if not active:
+                raise ClusteringError(
+                    f"no active documents at t={at_time} "
+                    f"(all expired; life_span={self.model.life_span})"
+                )
+            initial = dict(self._assignment) if warm else None
+            if self.recorder.enabled and initial is not None:
+                self.recorder.gauge(
+                    "pipeline.warm_start_reuse",
+                    len(initial) / len(active),
+                )
+            with Span(self.recorder, "pipeline.clustering",
+                      {"docs": len(active)}):
+                result = self.kmeans.fit(active, self.statistics, initial)
+        except Exception:
+            # roll the whole batch back: statistics, clock, and
+            # assignments return to their pre-batch state
+            self.statistics = snapshot
+            self._assignment = previous_assignment
+            if self.recorder.enabled:
+                self.recorder.counter("pipeline.batches_rejected")
+            raise
         self._assignment = result.assignments()
 
         timings = dict(result.timings)
-        timings["statistics"] = stats_elapsed
+        timings["statistics"] = stats_span.duration
         result = dataclasses.replace(result, timings=timings)
         self.history.append(result)
+        if self.recorder.enabled:
+            self.recorder.counter("pipeline.batches")
         return result
 
     def assignments(self) -> Dict[str, int]:
@@ -142,14 +202,17 @@ class NonIncrementalClusterer:
         max_iterations: int = 30,
         seed: Optional[int] = None,
         engine: str = "dense",
+        recorder: Optional[Recorder] = None,
     ) -> None:
         self.model = model
+        self.recorder = resolve(recorder)
         self.kmeans = NoveltyKMeans(
             k=k,
             delta=delta,
             max_iterations=max_iterations,
             seed=seed,
             engine=engine,
+            recorder=self.recorder,
         )
         self.archive: List[Document] = []
         self.statistics: Optional[CorpusStatistics] = None
@@ -159,23 +222,35 @@ class NonIncrementalClusterer:
     def last_result(self) -> Optional[ClusteringResult]:
         return self.history[-1] if self.history else None
 
+    def set_recorder(self, recorder: Optional[Recorder]) -> None:
+        """Attach ``recorder`` to the pipeline and all its components."""
+        resolved = resolve(recorder)
+        self.recorder = resolved
+        self.kmeans.recorder = resolved
+        if self.statistics is not None:
+            self.statistics.recorder = resolved
+
     def process_batch(
         self, documents: Iterable[Document], at_time: float
     ) -> ClusteringResult:
         """Add ``documents`` to the archive and rebuild everything.
 
-        A batch whose clustering fails is rolled out of the archive, so
-        the same documents can be re-sent with a later batch.
+        A batch whose rebuild or clustering fails is rolled out of the
+        archive *and* ``self.statistics`` is restored to the previous
+        rebuild, so archive and statistics stay consistent and the
+        same documents can be re-sent with a later batch.
         """
         batch = list(documents)
         self.archive.extend(batch)
+        previous_statistics = self.statistics
 
         try:
-            stats_start = time_module.perf_counter()
-            self.statistics = CorpusStatistics.from_scratch(
-                self.model, self.archive, at_time
-            )
-            stats_elapsed = time_module.perf_counter() - stats_start
+            with Span(self.recorder, "pipeline.statistics",
+                      {"batch": len(batch)}) as stats_span:
+                self.statistics = CorpusStatistics.from_scratch(
+                    self.model, self.archive, at_time,
+                    recorder=self.recorder,
+                )
 
             active = self.statistics.documents()
             if not active:
@@ -183,13 +258,20 @@ class NonIncrementalClusterer:
                     f"no active documents at t={at_time} "
                     f"(all expired; life_span={self.model.life_span})"
                 )
-            result = self.kmeans.fit(active, self.statistics)
+            with Span(self.recorder, "pipeline.clustering",
+                      {"docs": len(active)}):
+                result = self.kmeans.fit(active, self.statistics)
         except Exception:
             del self.archive[len(self.archive) - len(batch):]
+            self.statistics = previous_statistics
+            if self.recorder.enabled:
+                self.recorder.counter("pipeline.batches_rejected")
             raise
 
         timings = dict(result.timings)
-        timings["statistics"] = stats_elapsed
+        timings["statistics"] = stats_span.duration
         result = dataclasses.replace(result, timings=timings)
         self.history.append(result)
+        if self.recorder.enabled:
+            self.recorder.counter("pipeline.batches")
         return result

@@ -45,6 +45,7 @@ from .._validation import (
 from ..corpus.document import Document
 from ..exceptions import ClusteringError, ConfigurationError
 from ..forgetting.statistics import CorpusStatistics
+from ..obs import SPAN, Event, Recorder, Span, resolve
 from ..vectors.sparse import SparseVector
 from ..vectors.tfidf import NoveltyTfidfWeighter
 from .cluster import Cluster
@@ -263,6 +264,11 @@ class NoveltyKMeans:
         Both moves are accepted only when they increase ``G``, so the
         greedy-ascent property is preserved. The on-line pipeline
         enables this by default; the batch experiments don't.
+    recorder:
+        Observability sink (:mod:`repro.obs`). Defaults to the ambient
+        recorder (a no-op unless one was installed). When enabled,
+        every fit emits vectorisation/per-pass spans, per-iteration
+        ``G`` and outlier gauges, and reseed/rescue/split counters.
     """
 
     def __init__(
@@ -275,6 +281,7 @@ class NoveltyKMeans:
         reseed_empty: bool = True,
         criterion: str = "g",
         rescue_outliers: bool = False,
+        recorder: Optional[Recorder] = None,
     ) -> None:
         self.k = require_positive_int("k", k)
         self.delta = require_in_open_interval("delta", delta, 0.0, 1.0)
@@ -294,6 +301,7 @@ class NoveltyKMeans:
             )
         self.criterion = criterion
         self.rescue_outliers = bool(rescue_outliers)
+        self.recorder = resolve(recorder)
 
     # -- public API ---------------------------------------------------------
 
@@ -319,7 +327,10 @@ class NoveltyKMeans:
                 f"need at least k={self.k} documents for random "
                 f"initialisation, got {len(docs)}"
             )
-        vectors = NoveltyTfidfWeighter(statistics).weighted_vectors(docs)
+        recorder = self.recorder
+        with Span(recorder, "kmeans.vectorise",
+                  {"docs": len(docs)}) as vectorise_span:
+            vectors = NoveltyTfidfWeighter(statistics).weighted_vectors(docs)
 
         backend = _BACKENDS[self.engine](self.k, vectors, self.criterion)
         assignment: Dict[str, int] = {}
@@ -336,29 +347,53 @@ class NoveltyKMeans:
         iterations = 0
 
         for iterations in range(1, self.max_iterations + 1):
-            outliers = self._assignment_pass(backend, docs, vectors,
-                                             assignment)
-            if self.reseed_empty:
-                self._reseed_empty_clusters(backend, outliers, assignment)
-            rescued = False
-            if self.rescue_outliers:
-                if outliers:
-                    rescued = self._rescue_outliers(
-                        backend, vectors, outliers, assignment
+            with Span(recorder, "kmeans.pass",
+                      {"iteration": iterations}):
+                outliers = self._assignment_pass(backend, docs, vectors,
+                                                 assignment)
+                reseeded = 0
+                if self.reseed_empty:
+                    reseeded = self._reseed_empty_clusters(
+                        backend, outliers, assignment
                     )
-                if not rescued:
-                    rescued = self._split_repair(
-                        backend, vectors, assignment
-                    )
-            backend.refresh()
-            g_new = backend.clustering_index()
+                rescued = split = False
+                if self.rescue_outliers:
+                    if outliers:
+                        rescued = self._rescue_outliers(
+                            backend, vectors, outliers, assignment
+                        )
+                    if not rescued:
+                        split = self._split_repair(
+                            backend, vectors, assignment
+                        )
+                backend.refresh()
+                g_new = backend.clustering_index()
             history.append(g_new)
-            if not rescued and self._converged(g_old, g_new):
+            if recorder.enabled:
+                recorder.gauge("kmeans.g", g_new, iteration=iterations)
+                recorder.gauge("kmeans.outliers", len(outliers),
+                               iteration=iterations)
+                if reseeded:
+                    recorder.counter("kmeans.reseeds", reseeded)
+                if rescued:
+                    recorder.counter("kmeans.rescues")
+                if split:
+                    recorder.counter("kmeans.splits")
+            repaired = rescued or split
+            if not repaired and self._converged(g_old, g_new):
                 converged = True
                 break
             g_old = g_new
 
         elapsed = time_module.perf_counter() - start
+        if recorder.enabled:
+            recorder.emit(Event("kmeans.fit", SPAN, elapsed, {
+                "engine": self.engine,
+                "criterion": self.criterion,
+                "docs": len(docs),
+                "iterations": iterations,
+                "converged": converged,
+            }))
         return ClusteringResult(
             clusters=tuple(tuple(m) for m in backend.members()),
             outliers=tuple(outliers),
@@ -366,7 +401,8 @@ class NoveltyKMeans:
             index_history=tuple(history),
             iterations=iterations,
             converged=converged,
-            timings={"clustering": elapsed},
+            timings={"clustering": elapsed,
+                     "vectorisation": vectorise_span.duration},
         )
 
     # -- phases ------------------------------------------------------------
@@ -443,11 +479,14 @@ class NoveltyKMeans:
         backend,
         outliers: List[str],
         assignment: Dict[str, int],
-    ) -> None:
-        """Seed emptied clusters with the strongest remaining outliers."""
+    ) -> int:
+        """Seed emptied clusters with the strongest remaining outliers.
+
+        Returns the number of clusters re-seeded.
+        """
         empty = [cid for cid, size in enumerate(backend.sizes()) if size == 0]
         if not empty or not outliers:
-            return
+            return 0
         ranked = sorted(
             outliers,
             key=lambda doc_id: backend.self_similarity(doc_id),
@@ -467,6 +506,7 @@ class NoveltyKMeans:
             seeded.add(doc_id)
         if seeded:
             outliers[:] = [d for d in outliers if d not in seeded]
+        return len(seeded)
 
     def _rescue_outliers(
         self,

@@ -36,6 +36,7 @@ from ..exceptions import (
     EmptyCorpusError,
     UnknownDocumentError,
 )
+from ..obs import Recorder, Span, resolve
 from .model import ForgettingModel
 
 _SCALE_FLOOR = 1e-150
@@ -44,8 +45,13 @@ _SCALE_FLOOR = 1e-150
 class CorpusStatistics:
     """Time-decayed corpus statistics with incremental maintenance."""
 
-    def __init__(self, model: ForgettingModel) -> None:
+    def __init__(
+        self,
+        model: ForgettingModel,
+        recorder: Optional[Recorder] = None,
+    ) -> None:
         self.model = model
+        self.recorder = resolve(recorder)
         self._now: Optional[float] = None
         self._docs: Dict[str, Document] = {}
         self._dw: Dict[str, float] = {}
@@ -61,6 +67,7 @@ class CorpusStatistics:
         model: ForgettingModel,
         documents: Iterable[Document],
         at_time: float,
+        recorder: Optional[Recorder] = None,
     ) -> "CorpusStatistics":
         """Non-incremental rebuild: recompute every statistic in one pass.
 
@@ -68,18 +75,25 @@ class CorpusStatistics:
         incremental path. Documents whose weight at ``at_time`` falls
         below ``ε`` are excluded (expiry applied during the rebuild).
         """
-        stats = cls(model)
+        stats = cls(model, recorder=recorder)
         stats._now = float(at_time)
-        for doc in documents:
-            weight = model.weight(doc.timestamp, at_time)
-            if model.is_expired(weight):
-                continue
-            stats._insert(doc, weight)
+        with Span(stats.recorder, "statistics.rebuild") as span:
+            for doc in documents:
+                weight = model.weight(doc.timestamp, at_time)
+                if model.is_expired(weight):
+                    continue
+                stats._insert(doc, weight)
+            span.tags["docs"] = len(stats._docs)
+        if stats.recorder.enabled:
+            stats.recorder.counter(
+                "statistics.docs_observed", len(stats._docs)
+            )
+            stats._emit_level_gauges()
         return stats
 
     def clone(self) -> "CorpusStatistics":
         """Deep copy (documents are shared; they are immutable)."""
-        other = CorpusStatistics(self.model)
+        other = CorpusStatistics(self.model, recorder=self.recorder)
         other._now = self._now
         other._docs = dict(self._docs)
         other._dw = dict(self._dw)
@@ -134,6 +148,8 @@ class CorpusStatistics:
             if mass * scale > 0.0
         }
         self._term_scale = 1.0
+        if self.recorder.enabled:
+            self.recorder.counter("statistics.scale_folds")
 
     # -- insertion / removal ------------------------------------------------
 
@@ -144,22 +160,62 @@ class CorpusStatistics:
         when it arrives at the update time, as in the paper's batch
         model. Returns the number of documents inserted.
 
+        The batch is **atomic**: every document is validated (no future
+        timestamps, no ids already tracked, no intra-batch duplicates,
+        clock not moving backwards) *before* any state — including the
+        clock — is mutated, so a rejected batch leaves the statistics
+        exactly as they were and can be corrected and re-sent.
+
         Backdated documents older than the life span are inserted too
         (expiry is the separate §5.2 step — call :meth:`expire` after,
         as the pipelines do); only :meth:`from_scratch` applies expiry
         during construction, because it rebuilds the *active* set.
         """
-        self.advance_to(at_time)
-        count = 0
-        for doc in documents:
+        batch = list(documents)
+        self._validate_batch(batch, at_time)
+        with Span(self.recorder, "statistics.observe",
+                  {"batch": len(batch)}):
+            self.advance_to(at_time)
+            for doc in batch:
+                self._insert(doc, self.model.weight(doc.timestamp, at_time))
+        if self.recorder.enabled:
+            self.recorder.counter("statistics.docs_observed", len(batch))
+            self._emit_level_gauges()
+        return len(batch)
+
+    def _validate_batch(
+        self, batch: List[Document], at_time: float
+    ) -> None:
+        """Reject a bad batch before any mutation (atomicity guard)."""
+        if self._now is not None and at_time < self._now:
+            raise ConfigurationError(
+                f"cannot advance clock backwards: now={self._now}, "
+                f"requested {at_time}"
+            )
+        seen: set = set()
+        for doc in batch:
             if doc.timestamp > at_time:
                 raise ConfigurationError(
                     f"document {doc.doc_id!r} from the future: "
                     f"T={doc.timestamp} > τ={at_time}"
                 )
-            self._insert(doc, self.model.weight(doc.timestamp, at_time))
-            count += 1
-        return count
+            if doc.doc_id in self._docs:
+                raise ConfigurationError(
+                    f"document {doc.doc_id!r} already tracked"
+                )
+            if doc.doc_id in seen:
+                raise ConfigurationError(
+                    f"document {doc.doc_id!r} appears twice in the batch"
+                )
+            seen.add(doc.doc_id)
+
+    def _emit_level_gauges(self) -> None:
+        """Gauge snapshot after a state change (enabled recorders only)."""
+        self.recorder.gauge("statistics.active_docs", len(self._docs))
+        self.recorder.gauge("statistics.tdw", self._tdw)
+        self.recorder.gauge(
+            "statistics.vocabulary_size", len(self._term_mass_raw)
+        )
 
     def _insert(self, doc: Document, weight: float) -> None:
         if doc.doc_id in self._docs:
@@ -214,11 +270,16 @@ class CorpusStatistics:
         they carry no probability mass, and keeping them would let
         ``tdw`` reach 0.0 with documents still "active".
         """
-        expired_ids = [
-            doc_id for doc_id, weight in self._dw.items()
-            if weight == 0.0 or self.model.is_expired(weight)
-        ]
-        return [self.remove(doc_id) for doc_id in expired_ids]
+        with Span(self.recorder, "statistics.expire"):
+            expired_ids = [
+                doc_id for doc_id, weight in self._dw.items()
+                if weight == 0.0 or self.model.is_expired(weight)
+            ]
+            expired = [self.remove(doc_id) for doc_id in expired_ids]
+        if self.recorder.enabled:
+            self.recorder.counter("statistics.docs_expired", len(expired))
+            self._emit_level_gauges()
+        return expired
 
     # -- queries -------------------------------------------------------------
 

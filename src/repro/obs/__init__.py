@@ -1,0 +1,64 @@
+"""repro.obs — pipeline observability.
+
+Structured counters, gauges, and timed spans emitted by every phase of
+the clustering pipeline (statistics update, expiry, vectorisation,
+K-means iterations, rescue/split/reseed moves), routed through a
+pluggable :class:`Recorder`:
+
+* :class:`NullRecorder` — default, near-zero overhead;
+* :class:`InMemoryRecorder` — tests / benchmarks;
+* :class:`JsonlRecorder` — the CLI's ``--trace PATH`` output;
+* :class:`LoggingRecorder` — stdlib logging bridge.
+
+Quickstart::
+
+    from repro import ForgettingModel, IncrementalClusterer
+    from repro.obs import InMemoryRecorder
+
+    recorder = InMemoryRecorder()
+    clusterer = IncrementalClusterer(model, k=8, recorder=recorder)
+    clusterer.process_batch(batch, at_time=1.0)
+    print(recorder.counters())
+    print(recorder.last("statistics.tdw"))
+
+or ambiently, without touching constructors::
+
+    from repro.obs import use_recorder, InMemoryRecorder
+    with use_recorder(InMemoryRecorder()) as recorder:
+        clusterer = IncrementalClusterer(model, k=8)
+        ...
+"""
+
+from .events import COUNTER, GAUGE, SPAN, Event
+from .recorder import (
+    NULL_RECORDER,
+    InMemoryRecorder,
+    NullRecorder,
+    Recorder,
+    get_recorder,
+    resolve,
+    set_recorder,
+    use_recorder,
+)
+from .sinks import JsonlRecorder, LoggingRecorder
+from .summary import summarize
+from .timing import Span
+
+__all__ = [
+    "COUNTER",
+    "GAUGE",
+    "SPAN",
+    "Event",
+    "Span",
+    "Recorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "InMemoryRecorder",
+    "JsonlRecorder",
+    "LoggingRecorder",
+    "get_recorder",
+    "set_recorder",
+    "use_recorder",
+    "resolve",
+    "summarize",
+]

@@ -1,0 +1,59 @@
+"""Structured observability events.
+
+An :class:`Event` is the single record type flowing through the
+``repro.obs`` layer. Three kinds exist:
+
+``counter``
+    A monotonically accumulating quantity ("documents observed",
+    "scale folds"). ``value`` is the increment, not the running total;
+    sinks or :func:`repro.obs.summary.summarize` accumulate.
+``gauge``
+    A point-in-time measurement ("tdw", "vocabulary size",
+    "warm-start reuse ratio"). ``value`` is the current level.
+``span``
+    A completed timed phase ("statistics.observe", "kmeans.pass").
+    ``value`` is the duration in **seconds**.
+
+``tags`` carry low-cardinality context (batch size, iteration number,
+engine name). Events are immutable; sinks may enrich the serialized
+form (e.g. a wall-clock timestamp) but never the event itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping
+
+COUNTER = "counter"
+GAUGE = "gauge"
+SPAN = "span"
+
+_KINDS = frozenset((COUNTER, GAUGE, SPAN))
+
+
+@dataclass(frozen=True)
+class Event:
+    """One observability record: a counter increment, gauge, or span."""
+
+    name: str
+    kind: str
+    value: float
+    tags: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"event kind must be one of {sorted(_KINDS)}, "
+                f"got {self.kind!r}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form (tags copied, never aliased)."""
+        record: Dict[str, Any] = {
+            "name": self.name,
+            "kind": self.kind,
+            "value": self.value,
+        }
+        if self.tags:
+            record["tags"] = dict(self.tags)
+        return record

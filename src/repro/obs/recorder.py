@@ -1,0 +1,156 @@
+"""The :class:`Recorder` interface and its in-process implementations.
+
+A recorder receives :class:`~repro.obs.events.Event` objects from the
+instrumented pipeline. Implementations in this module:
+
+* :class:`NullRecorder` — drops everything; ``enabled`` is False so
+  hot paths skip even building the event. The default everywhere.
+* :class:`InMemoryRecorder` — appends to a list, with query helpers;
+  what the tests and the benchmark harness use.
+
+File and logging sinks live in :mod:`repro.obs.sinks`.
+
+Recorder plumbing follows an explicit-first model: every instrumented
+class takes a ``recorder=`` constructor argument. When it is ``None``,
+the *ambient* recorder is used — a module-level default that
+:func:`use_recorder` swaps temporarily, so a whole pipeline can be
+traced without threading the argument through every layer::
+
+    with use_recorder(InMemoryRecorder()) as recorder:
+        clusterer = IncrementalClusterer(model, k=8)   # picks it up
+        clusterer.process_batch(batch, at_time=1.0)
+    print(recorder.total("statistics.docs_observed"))
+
+The ambient default is process-global (not thread-local); concurrent
+pipelines should pass explicit recorders instead.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Set
+
+from .events import COUNTER, GAUGE, SPAN, Event
+from .timing import Span
+
+
+class Recorder:
+    """Base class / protocol: override :meth:`emit`.
+
+    ``enabled`` lets hot code paths skip event construction entirely::
+
+        if recorder.enabled:
+            recorder.counter("kmeans.reseeds", n)
+    """
+
+    enabled = True
+
+    def emit(self, event: Event) -> None:
+        raise NotImplementedError
+
+    # -- convenience constructors -----------------------------------------
+
+    def counter(self, name: str, value: float = 1.0, **tags: Any) -> None:
+        """Emit a counter increment."""
+        self.emit(Event(name, COUNTER, float(value), tags))
+
+    def gauge(self, name: str, value: float, **tags: Any) -> None:
+        """Emit a point-in-time measurement."""
+        self.emit(Event(name, GAUGE, float(value), tags))
+
+    def span(self, name: str, **tags: Any) -> Span:
+        """A context manager timing one phase (see :class:`Span`)."""
+        return Span(self, name, tags)
+
+
+class NullRecorder(Recorder):
+    """Discards every event; the zero-overhead default."""
+
+    enabled = False
+
+    def emit(self, event: Event) -> None:  # pragma: no cover - never called
+        pass
+
+
+class InMemoryRecorder(Recorder):
+    """Collects events in a list; the sink for tests and benchmarks."""
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def emit(self, event: Event) -> None:
+        self.events.append(event)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def names(self) -> Set[str]:
+        """Distinct event names seen so far."""
+        return {event.name for event in self.events}
+
+    def select(
+        self, name: Optional[str] = None, kind: Optional[str] = None
+    ) -> List[Event]:
+        """Events filtered by ``name`` and/or ``kind``."""
+        return [
+            event for event in self.events
+            if (name is None or event.name == name)
+            and (kind is None or event.kind == kind)
+        ]
+
+    def total(self, name: str) -> float:
+        """Sum of all counter increments (or span durations) for ``name``."""
+        return sum(event.value for event in self.events
+                   if event.name == name and event.kind != GAUGE)
+
+    def last(self, name: str) -> Optional[float]:
+        """Most recent value recorded under ``name``; None if unseen."""
+        for event in reversed(self.events):
+            if event.name == name:
+                return event.value
+        return None
+
+    def counters(self) -> Dict[str, float]:
+        """``{name: accumulated total}`` over all counter events."""
+        totals: Dict[str, float] = {}
+        for event in self.events:
+            if event.kind == COUNTER:
+                totals[event.name] = totals.get(event.name, 0.0) + event.value
+        return totals
+
+
+NULL_RECORDER = NullRecorder()
+
+_ambient: Recorder = NULL_RECORDER
+
+
+def get_recorder() -> Recorder:
+    """The current ambient recorder (default: a :class:`NullRecorder`)."""
+    return _ambient
+
+
+def set_recorder(recorder: Optional[Recorder]) -> Recorder:
+    """Replace the ambient recorder; returns the previous one."""
+    global _ambient
+    previous = _ambient
+    _ambient = recorder if recorder is not None else NULL_RECORDER
+    return previous
+
+
+@contextmanager
+def use_recorder(recorder: Recorder) -> Iterator[Recorder]:
+    """Make ``recorder`` ambient for the duration of the ``with`` block."""
+    previous = set_recorder(recorder)
+    try:
+        yield recorder
+    finally:
+        set_recorder(previous)
+
+
+def resolve(recorder: Optional[Recorder]) -> Recorder:
+    """``recorder`` if given, else the ambient recorder.
+
+    Instrumented classes call this once at construction, so the
+    recorder active when a pipeline is *built* stays attached to it.
+    """
+    return recorder if recorder is not None else _ambient

@@ -1,0 +1,85 @@
+"""File and logging sinks for observability events.
+
+* :class:`JsonlRecorder` — one JSON object per line, append-ordered;
+  what the CLI's ``--trace PATH`` writes. Each line carries the event
+  fields plus ``"t"``, seconds since the recorder was opened (a
+  monotonic clock, so traces are diffable across runs).
+* :class:`LoggingRecorder` — forwards events to stdlib ``logging``,
+  for embedding the pipeline into a host application's log stream.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import time
+from typing import Any, Optional, Union
+
+from .events import Event
+from .recorder import Recorder
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+class JsonlRecorder(Recorder):
+    """Streams events to a JSON-Lines file.
+
+    Usable as a context manager; :meth:`close` is idempotent and a
+    closed recorder silently drops further events (the pipeline may
+    legitimately outlive the trace file).
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = path
+        self._handle: Optional[Any] = open(path, "w", encoding="utf-8")
+        self._epoch = time.perf_counter()
+        self.events_written = 0
+
+    def emit(self, event: Event) -> None:
+        if self._handle is None:
+            return
+        record = event.to_dict()
+        record["t"] = round(time.perf_counter() - self._epoch, 6)
+        self._handle.write(json.dumps(record, ensure_ascii=False,
+                                      sort_keys=True) + "\n")
+        self.events_written += 1
+
+    def flush(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonlRecorder":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+class LoggingRecorder(Recorder):
+    """Forwards events to a stdlib logger (default ``repro.obs``)."""
+
+    def __init__(
+        self,
+        logger: Optional[logging.Logger] = None,
+        level: int = logging.INFO,
+    ) -> None:
+        self.logger = logger if logger is not None else logging.getLogger(
+            "repro.obs"
+        )
+        self.level = level
+
+    def emit(self, event: Event) -> None:
+        if not self.logger.isEnabledFor(self.level):
+            return
+        self.logger.log(
+            self.level, "%s %s=%.6g %s",
+            event.kind, event.name, event.value,
+            dict(event.tags) if event.tags else "",
+        )

@@ -1,0 +1,51 @@
+"""Timed spans.
+
+A :class:`Span` always measures wall time (``time.perf_counter``) so
+pipeline code can read ``span.duration`` to populate the legacy
+``ClusteringResult.timings`` dict, but it only *emits* an event when
+the recorder is enabled — instrumentation stays near-free under the
+default :class:`~repro.obs.recorder.NullRecorder`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional
+
+from .events import SPAN, Event
+
+
+class Span:
+    """Context manager timing one phase; emits a ``span`` event on exit.
+
+    >>> with Span(recorder, "statistics.observe", {"batch": 12}) as sp:
+    ...     do_work()
+    >>> sp.duration  # seconds, measured even with a NullRecorder
+    """
+
+    __slots__ = ("_recorder", "name", "tags", "duration", "_start")
+
+    def __init__(
+        self,
+        recorder: "Recorder",
+        name: str,
+        tags: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self._recorder = recorder
+        self.name = name
+        self.tags = tags if tags is not None else {}
+        self.duration = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration = time.perf_counter() - self._start
+        if self._recorder.enabled:
+            tags = dict(self.tags)
+            if exc_type is not None:
+                tags["error"] = exc_type.__name__
+            self._recorder.emit(Event(self.name, SPAN, self.duration, tags))
+        return False

