@@ -50,7 +50,9 @@ from .forgetting import CorpusStatistics, ForgettingModel
 from .core import (
     Cluster,
     ClusterLabel,
+    ClustererConfig,
     ClusteringResult,
+    Engine,
     IncrementalClusterer,
     KEstimate,
     NonIncrementalClusterer,
@@ -59,8 +61,11 @@ from .core import (
     ClusterSearcher,
     TopicThread,
     TopicTracker,
+    available_engines,
     estimate_k,
     label_clustering,
+    register_engine,
+    resolve_engine,
 )
 from .persistence import CheckpointError, load_checkpoint, save_checkpoint
 from .analysis import (
@@ -126,7 +131,12 @@ __all__ = [
     # core
     "NoveltySimilarity",
     "Cluster",
+    "ClustererConfig",
     "ClusteringResult",
+    "Engine",
+    "available_engines",
+    "register_engine",
+    "resolve_engine",
     "NoveltyKMeans",
     "IncrementalClusterer",
     "NonIncrementalClusterer",

@@ -27,6 +27,7 @@ from . import __version__
 from .corpus.loaders import load_jsonl, save_jsonl
 from .corpus.streams import replay
 from .corpus.synthetic import SyntheticCorpusConfig, TDT2Generator
+from .core.engines import available_engines
 from .core.incremental import IncrementalClusterer
 from .core.labeling import label_clustering
 from .eval.metrics import evaluate_clustering
@@ -64,6 +65,11 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--life-span", type=float, default=14.0)
     cluster.add_argument("--batch-days", type=float, default=7.0)
     cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument("--engine", choices=sorted(available_engines()),
+                         default=None,
+                         help="numerical engine for the extended K-means "
+                              "(default: dense; on --resume the "
+                              "checkpointed engine unless overridden)")
     cluster.add_argument("--top-terms", type=int, default=4)
     cluster.add_argument("--checkpoint", default=None,
                          help="write final state to this path")
@@ -135,9 +141,15 @@ def _run_cluster(args: argparse.Namespace, recorder) -> int:
         clusterer, vocabulary = load_checkpoint(args.resume, vocabulary)
         if recorder is not None:
             clusterer.set_recorder(recorder)
+        if args.engine is not None:
+            # the engine only changes *how* the numbers are computed,
+            # never the clustering state, so unlike k/seed it is safe
+            # to swap when resuming
+            clusterer.kmeans.engine = args.engine
         print(f"resumed from {args.resume}: "
               f"{clusterer.statistics.size} active documents at "
               f"t={clusterer.statistics.now} "
+              f"using engine '{clusterer.kmeans.engine}' "
               f"(checkpoint parameters take precedence over "
               f"--k/--half-life/--life-span/--seed; documents older "
               f"than the checkpoint clock are treated as already "
@@ -147,7 +159,8 @@ def _run_cluster(args: argparse.Namespace, recorder) -> int:
             half_life=args.half_life, life_span=args.life_span
         )
         clusterer = IncrementalClusterer(
-            model, k=args.k, seed=args.seed, recorder=recorder
+            model, k=args.k, seed=args.seed,
+            engine=args.engine or "dense", recorder=recorder,
         )
 
     documents = load_jsonl(args.input, vocabulary)

@@ -4,6 +4,13 @@ clustering pipeline."""
 
 from .similarity import NoveltySimilarity
 from .cluster import Cluster
+from .config import ClustererConfig
+from .engines import (
+    Engine,
+    available_engines,
+    register_engine,
+    resolve_engine,
+)
 from .result import ClusteringResult
 from .kmeans import NoveltyKMeans
 from .incremental import IncrementalClusterer, NonIncrementalClusterer
@@ -22,7 +29,12 @@ from .labeling import (
 __all__ = [
     "NoveltySimilarity",
     "Cluster",
+    "ClustererConfig",
     "ClusteringResult",
+    "Engine",
+    "available_engines",
+    "register_engine",
+    "resolve_engine",
     "NoveltyKMeans",
     "IncrementalClusterer",
     "NonIncrementalClusterer",

@@ -1,0 +1,139 @@
+"""Shared configuration for the clustering pipelines.
+
+:class:`IncrementalClusterer` and :class:`NonIncrementalClusterer` are
+compared head-to-head throughout the paper's experiments, so they must
+run with *identical* K-means settings. :class:`ClustererConfig` captures
+the parameters common to both pipelines in one value object that can be
+built once and handed to each::
+
+    config = ClustererConfig(k=32, seed=1998, engine="matrix")
+    incremental = IncrementalClusterer(model, config)
+    baseline = NonIncrementalClusterer(model, config)
+
+Pipeline-specific switches (``warm_start``, ``rescue_outliers``) stay
+keyword arguments on the individual constructors.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from ..exceptions import ConfigurationError
+from ..obs import Recorder
+
+
+@dataclass(frozen=True)
+class ClustererConfig:
+    """K-means parameters shared by both clustering pipelines.
+
+    Attributes mirror the :class:`~repro.core.NoveltyKMeans` surface:
+
+    ``k``
+        Number of clusters (required, positive).
+    ``delta``
+        Convergence threshold on the relative ``G`` improvement
+        (paper Section 4.3), in ``(0, 1)``.
+    ``max_iterations``
+        Upper bound on repetition-process iterations per fit.
+    ``seed``
+        Seed for the initial random assignment (``None`` = fresh
+        randomness per fit).
+    ``engine``
+        Name of a registered numerical engine
+        (see :mod:`repro.core.engines`).
+    ``recorder``
+        Observability sink shared by the pipeline and its K-means.
+
+    Use :func:`dataclasses.replace` to derive variants::
+
+        fast = dataclasses.replace(config, engine="matrix")
+    """
+
+    k: int
+    delta: float = 0.01
+    max_iterations: int = 30
+    seed: Optional[int] = None
+    engine: str = "dense"
+    recorder: Optional[Recorder] = None
+
+
+_UNSET: Any = object()
+
+#: Positional parameter order of the pre-config constructors (after
+#: ``model``), kept so legacy positional calls still resolve — with a
+#: DeprecationWarning — instead of silently re-binding arguments.
+LEGACY_INCREMENTAL_ORDER: Tuple[str, ...] = (
+    "k", "delta", "max_iterations", "seed", "engine",
+    "warm_start", "rescue_outliers", "recorder",
+)
+LEGACY_NONINCREMENTAL_ORDER: Tuple[str, ...] = (
+    "k", "delta", "max_iterations", "seed", "engine", "recorder",
+)
+
+
+def resolve_clusterer_config(
+    cls_name: str,
+    args: Sequence[Any],
+    config: Optional[ClustererConfig],
+    keyword_values: Dict[str, Any],
+    legacy_order: Tuple[str, ...],
+    extra_defaults: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Merge a constructor's inputs into one parameter dict.
+
+    ``args`` are positional arguments beyond ``model``; a leading
+    :class:`ClustererConfig` is accepted there (the blessed call shape),
+    anything further is the legacy positional protocol and raises a
+    :class:`DeprecationWarning`. Precedence, lowest to highest:
+    dataclass defaults < ``config`` fields < legacy positionals <
+    explicit keywords. ``keyword_values`` entries equal to
+    :data:`_UNSET` mean "not passed".
+    """
+    args = list(args)
+    if args and isinstance(args[0], ClustererConfig):
+        if config is not None:
+            raise ConfigurationError(
+                f"{cls_name}: config passed both positionally and as "
+                f"config= keyword"
+            )
+        config = args.pop(0)
+    if len(args) > len(legacy_order):
+        raise TypeError(
+            f"{cls_name} takes at most {len(legacy_order)} positional "
+            f"arguments after model, got {len(args)}"
+        )
+    if args:
+        warnings.warn(
+            f"{cls_name}: positional arguments beyond 'model' are "
+            f"deprecated; pass a ClustererConfig or keyword arguments",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    resolved: Dict[str, Any] = {
+        field.name: (
+            None if field.default is dataclasses.MISSING else field.default
+        )
+        for field in dataclasses.fields(ClustererConfig)
+    }
+    resolved.update(extra_defaults or {})
+    if config is not None:
+        for field in dataclasses.fields(ClustererConfig):
+            resolved[field.name] = getattr(config, field.name)
+    for name, value in zip(legacy_order, args):
+        if keyword_values.get(name, _UNSET) is not _UNSET:
+            raise TypeError(
+                f"{cls_name} got multiple values for argument {name!r}"
+            )
+        resolved[name] = value
+    for name, value in keyword_values.items():
+        if value is not _UNSET:
+            resolved[name] = value
+    if resolved.get("k") in (None, _UNSET):
+        raise ConfigurationError(
+            f"{cls_name}: k is required (pass k= or a ClustererConfig)"
+        )
+    return resolved

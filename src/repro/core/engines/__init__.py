@@ -1,0 +1,59 @@
+"""repro.core.engines — pluggable backends for the extended K-means.
+
+The clustering *algorithm* (Section 4.3's initial/repetition process,
+outlier handling, convergence on ``G``) lives once, in
+:class:`~repro.core.NoveltyKMeans`. The *numerics* — cluster
+representatives, the Eq. 21-26 incremental accounting, and the
+assignment-sweep gain queries — live behind the :class:`Engine`
+protocol, selected by name through a registry:
+
+============  ==========================================================
+``"sparse"``  Reference implementation over :class:`~repro.core.Cluster`
+              dict-backed vectors; mirrors the paper line-by-line.
+``"dense"``   numpy K×V representative matrix; per-document gains as one
+              fancy-indexed matrix-vector product. The default.
+``"matrix"``  CSR document matrix + blockwise sweep matmuls; answers an
+              entire assignment pass with matrix products (requires
+              scipy). The fastest on stream-scale corpora.
+============  ==========================================================
+
+Register your own with :func:`register_engine`::
+
+    from repro.core.engines import Engine, register_engine
+
+    def build_my_engine(k, vectors, criterion):
+        return MyEngine(k, vectors, criterion)
+
+    register_engine("mine", build_my_engine)
+    NoveltyKMeans(k=8, engine="mine")
+"""
+
+from .base import NO_GAIN, Engine, EngineBase
+from .dense import DenseEngine
+from .matrix import MatrixEngine
+from .registry import (
+    EngineFactory,
+    available_engines,
+    register_engine,
+    resolve_engine,
+    unregister_engine,
+)
+from .sparse import SparseEngine
+
+register_engine("sparse", SparseEngine)
+register_engine("dense", DenseEngine)
+register_engine("matrix", MatrixEngine)
+
+__all__ = [
+    "NO_GAIN",
+    "Engine",
+    "EngineBase",
+    "EngineFactory",
+    "SparseEngine",
+    "DenseEngine",
+    "MatrixEngine",
+    "register_engine",
+    "unregister_engine",
+    "available_engines",
+    "resolve_engine",
+]

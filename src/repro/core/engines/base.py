@@ -1,0 +1,162 @@
+"""The :class:`Engine` protocol and the shared :class:`EngineBase` helper.
+
+An *engine* is the numerical backend of the extended K-means
+(:class:`~repro.core.NoveltyKMeans`): it owns the per-cluster state of
+Section 4.4's efficient calculation —
+
+* the cluster representative ``c⃗_p = Σ_{d∈C_p} w⃗_d`` (Eq. 19-20),
+* ``cr_sim(C_p, C_p) = c⃗_p · c⃗_p`` (Eq. 21-22), maintained
+  incrementally on every append/delete,
+* ``ss(C_p) = Σ_{d∈C_p} sim(d, d)`` (Eq. 23),
+
+from which the intra-cluster average similarity (Eq. 24) and the
+*what-if-appended* gain (Eq. 25-26, one dot product against the
+representative) follow in O(1) per cluster. The clustering loop itself
+lives exactly once in :class:`~repro.core.NoveltyKMeans`; engines only
+answer state queries and apply membership mutations, so a new engine
+(GPU, distributed, approximate) plugs in without touching the
+algorithm.
+
+Engines are constructed per ``fit`` call with the signature
+``factory(k, vectors, criterion)`` where ``vectors`` maps ``doc_id`` to
+the weighted document vector ``w⃗_d = (Pr(d)/len_d)·d⃗`` (Eq. 12-16) and
+``criterion`` is ``"g"`` or ``"avg"`` (see
+:class:`~repro.core.NoveltyKMeans`). Register a factory under a name
+with :func:`~repro.core.engines.register_engine` to make it selectable
+via ``NoveltyKMeans(engine=...)``, the pipeline clusterers, and the
+``repro cluster --engine`` command line.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+try:  # pragma: no cover - Protocol is 3.8+, runtime_checkable too
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover - very old pythons
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+from ...vectors.sparse import SparseVector
+
+#: Gain reported for a document whose vector is empty: it is similar to
+#: nothing (including itself), so no cluster can ever gain from it.
+NO_GAIN = float("-inf")
+
+
+@runtime_checkable
+class Engine(Protocol):
+    """The state backend consumed by the extended K-means loop.
+
+    All mutating calls keep Eq. 21-23's incremental bookkeeping exact:
+    ``add``/``remove`` are O(nnz of the document vector), and the gain
+    queries are O(K) plus one representative dot product (Eq. 26).
+    """
+
+    def add(self, cluster_id: int, doc_id: str) -> None:
+        """Append ``doc_id`` to cluster ``cluster_id`` (Eq. 19-23 update)."""
+
+    def remove(self, cluster_id: int, doc_id: str) -> None:
+        """Delete ``doc_id`` from cluster ``cluster_id`` (Eq. 19-23 update)."""
+
+    def cluster_of(self, doc_id: str) -> Optional[int]:
+        """Cluster currently holding ``doc_id`` (None when unassigned)."""
+
+    def best_gain(self, doc_id: str) -> Tuple[int, float]:
+        """``(cluster_id, gain)`` of the largest-gain cluster (Eq. 25-26)."""
+
+    def best_gains(
+        self, doc_ids: Sequence[str]
+    ) -> List[Tuple[int, float]]:
+        """Run one batched assignment sweep (Section 4.3 step 1).
+
+        Equivalent to, for each ``doc_id`` in order: remove it from its
+        current cluster (if any), compute :meth:`best_gain`, and append
+        it to the winning cluster when the gain is positive. Returns
+        the ``(cluster_id, gain)`` decision per document
+        (``(-1, -inf)`` for empty-vector documents). Batching the
+        whole sweep lets vectorised engines answer it with matrix
+        products instead of per-document dot products.
+        """
+
+    def sizes(self) -> List[int]:
+        """``|C_p|`` per cluster."""
+
+    def refresh(self) -> None:
+        """Recompute Eq. 21 from the representative, clearing float drift."""
+
+    def clustering_index(self) -> float:
+        """The clustering index ``G`` (Eq. 17) over all clusters."""
+
+    def contributions(self) -> List[float]:
+        """Per-cluster ``|C_p|·avg_sim(C_p)`` terms of ``G`` (Eq. 17, 24)."""
+
+    def members(self) -> List[List[str]]:
+        """Member doc ids per cluster, in insertion order."""
+
+    def self_similarity(self, doc_id: str) -> float:
+        """``sim(d, d) = w⃗_d · w⃗_d`` (the Eq. 23 summand)."""
+
+
+class EngineBase:
+    """Shared plumbing for engines: membership map + default batch sweep.
+
+    Subclasses implement the per-cluster accounting via ``_add`` /
+    ``_remove`` and the single-document gain query ``best_gain``; this
+    base keeps the ``doc_id -> cluster_id`` map consistent and derives
+    :meth:`best_gains` from them with exactly the semantics the
+    sequential reference loop had. Vectorised engines override
+    :meth:`best_gains` wholesale.
+    """
+
+    def __init__(self, k: int, vectors: Dict[str, SparseVector]) -> None:
+        self.k = int(k)
+        self._assigned: Dict[str, int] = {}
+        self._empty_docs = {
+            doc_id for doc_id, vector in vectors.items() if not len(vector)
+        }
+
+    # -- membership -----------------------------------------------------
+
+    def add(self, cluster_id: int, doc_id: str) -> None:
+        self._add(cluster_id, doc_id)
+        self._assigned[doc_id] = cluster_id
+
+    def remove(self, cluster_id: int, doc_id: str) -> None:
+        self._remove(cluster_id, doc_id)
+        self._assigned.pop(doc_id, None)
+
+    def cluster_of(self, doc_id: str) -> Optional[int]:
+        return self._assigned.get(doc_id)
+
+    # -- batched sweep ---------------------------------------------------
+
+    def best_gains(
+        self, doc_ids: Sequence[str]
+    ) -> List[Tuple[int, float]]:
+        decisions: List[Tuple[int, float]] = []
+        for doc_id in doc_ids:
+            current = self.cluster_of(doc_id)
+            if current is not None:
+                self.remove(current, doc_id)
+            if doc_id in self._empty_docs:
+                decisions.append((-1, NO_GAIN))
+                continue
+            cluster_id, gain = self.best_gain(doc_id)
+            if gain > 0.0:
+                self.add(cluster_id, doc_id)
+            decisions.append((cluster_id, gain))
+        return decisions
+
+    # -- hooks ----------------------------------------------------------
+
+    def _add(self, cluster_id: int, doc_id: str) -> None:
+        raise NotImplementedError
+
+    def _remove(self, cluster_id: int, doc_id: str) -> None:
+        raise NotImplementedError
+
+    def best_gain(self, doc_id: str) -> Tuple[int, float]:
+        raise NotImplementedError

@@ -1,0 +1,516 @@
+"""Vectorised engine: one CSR matrix, assignment sweeps by matmul.
+
+The assignment pass (Section 4.3 step 1) is the hot path of the
+extended K-means: for every document it needs ``cr_sim(C_p, d_q) =
+c⃗_p · w⃗_q`` against every cluster representative (Eq. 26). The dense
+engine answers that with one fancy-indexed gather per document; this
+engine batches the *whole sweep*:
+
+* all weighted document vectors live in one CSR matrix ``X`` (N×V)
+  with cached self-similarities ``w⃗_d·w⃗_d`` (the Eq. 23 summands, which
+  already fold in the ``Pr(d)/len_d`` novelty weights of Eq. 12-16),
+* cluster representatives are dense accumulator rows ``R`` (K×V,
+  Eq. 19-20),
+* per block of documents the representative dot products arrive as one
+  sparse-dense product ``S = X_blk · Rᵀ`` plus one intra-block Gram
+  matrix ``X_blk · X_blkᵀ`` that replays the sweep's own membership
+  moves into ``S`` exactly (when document j left/joined cluster p, the
+  later rows' similarity to p changes by ∓``w⃗_i·w⃗_j`` — a column of
+  the Gram matrix),
+* the Eq. 25-26 gain of document q against cluster p is affine in
+  ``cr_sim(C_p, d_q)``, so per document the K gains are one
+  fused multiply-add ``a ⊙ cr + b`` over incrementally maintained
+  coefficient vectors instead of the full Eq. 24 recomputation.
+
+The arithmetic is exactly the reference recurrence — same additions,
+same order of membership moves — so assignments match the dense engine
+(G agrees to float-summation-order, like dense vs sparse).
+
+Requires :mod:`scipy` (the only engine that does); construction fails
+with a clear message when it is missing.
+"""
+
+from __future__ import annotations
+
+from itertools import chain
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...exceptions import ConfigurationError
+from ...vectors.sparse import SparseVector
+from .base import NO_GAIN, EngineBase
+
+try:  # pragma: no cover - exercised implicitly on import
+    from scipy import sparse as _sp
+except ImportError:  # pragma: no cover - scipy is present in CI/dev envs
+    _sp = None
+
+#: Documents per sweep block: large enough to amortise the two matmuls,
+#: small enough that the b×b Gram matrix stays cache-resident.
+DEFAULT_BLOCK_SIZE = 256
+
+#: Lookahead of the net-stationary fast path: bounds the work thrown
+#: away when a mover interrupts a stationary run.
+SPECULATE_WINDOW = 64
+
+
+class MatrixEngine(EngineBase):
+    """CSR document matrix + dense representatives, blockwise sweeps."""
+
+    def __init__(
+        self,
+        k: int,
+        vectors: Dict[str, SparseVector],
+        criterion: str,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> None:
+        if _sp is None:
+            raise ConfigurationError(
+                "the 'matrix' engine requires scipy, which is not "
+                "installed; use engine='dense' or install scipy"
+            )
+        super().__init__(k, vectors)
+        self._criterion = criterion
+        self._block_size = max(1, int(block_size))
+
+        n_docs = len(vectors)
+        self._row: Dict[str, int] = {
+            doc_id: row for row, doc_id in enumerate(vectors)
+        }
+        lens = np.fromiter(
+            (len(v) for v in vectors.values()), dtype=np.int64, count=n_docs
+        )
+        total_nnz = int(lens.sum())
+        indptr = np.zeros(n_docs + 1, dtype=np.int64)
+        np.cumsum(lens, out=indptr[1:])
+        raw_terms = np.fromiter(
+            chain.from_iterable(v.keys() for v in vectors.values()),
+            dtype=np.int64, count=total_nnz,
+        )
+        raw_vals = np.fromiter(
+            chain.from_iterable(v.values() for v in vectors.values()),
+            dtype=np.float64, count=total_nnz,
+        )
+        # compact the columns and sort terms within each row in one
+        # global argsort — same column map and per-row order as the
+        # dense engine's per-document sorted() build
+        term_ids = np.unique(raw_terms)
+        n_terms = max(1, len(term_ids))
+        cols = np.searchsorted(term_ids, raw_terms)
+        row_of = np.repeat(np.arange(n_docs, dtype=np.int64), lens)
+        order = np.argsort(row_of * n_terms + cols, kind="stable")
+        indices = cols[order]
+        data = raw_vals[order]
+        self._X = _sp.csr_matrix(
+            (data, indices, indptr), shape=(n_docs, n_terms)
+        )
+        # per-row self similarity, bit-equal to the dense engine's
+        # (same values, same order, same contiguous np.dot)
+        self._w2 = [
+            float(np.dot(data[indptr[r]:indptr[r + 1]],
+                         data[indptr[r]:indptr[r + 1]]))
+            for r in range(n_docs)
+        ]
+
+        self._rep = np.zeros((k, n_terms), dtype=np.float64)
+        self._crpp: List[float] = [0.0] * k
+        self._ss: List[float] = [0.0] * k
+        self._sizes: List[int] = [0] * k
+        self._members: List[Dict[str, None]] = [{} for _ in range(k)]
+        # gain(q, p) = a[p] * cr_sim(C_p, d_q) + b[p]  (Eq. 25-26)
+        self._gain_a = np.zeros(k, dtype=np.float64)
+        self._gain_b = np.zeros(k, dtype=np.float64)
+        # (rows, Xb, Gb) per block-start row: X never changes within a
+        # fit, so block slices and their Gram matrices are reused by
+        # every assignment pass
+        self._block_cache: Dict[int, Tuple[np.ndarray, object, np.ndarray]] \
+            = {}
+
+    # -- gain coefficients ----------------------------------------------
+
+    def _refresh_coeffs(self, cluster_id: int) -> None:
+        """Rebuild the affine gain coefficients of one cluster.
+
+        criterion "g":  Δ(|C_p|·avg_sim) = (2/n)·cr - (crpp-ss)/(n(n-1))
+        criterion "avg": Δavg_sim = 2cr/(n(n+1)) + (crpp-ss)/(n(n+1)) - avg_cur
+        with the n∈{0,1} degeneracies of Eq. 24 folded in.
+        """
+        n = self._sizes[cluster_id]
+        if n <= 0:
+            a = b = 0.0
+        elif self._criterion == "g":
+            if n == 1:
+                a, b = 2.0, 0.0
+            else:
+                a = 2.0 / n
+                b = -(self._crpp[cluster_id] - self._ss[cluster_id]) \
+                    / (n * (n - 1))
+        else:
+            diff = self._crpp[cluster_id] - self._ss[cluster_id]
+            a = 2.0 / (n * (n + 1))
+            avg_cur = diff / (n * (n - 1)) if n > 1 else 0.0
+            b = diff / (n * (n + 1)) - avg_cur
+        self._gain_a[cluster_id] = a
+        self._gain_b[cluster_id] = b
+
+    # -- membership (direct path: warm start, reseed, rescue, split) -----
+
+    def _doc_slice(self, doc_id: str) -> Tuple[np.ndarray, np.ndarray]:
+        row = self._row[doc_id]
+        start, stop = self._X.indptr[row], self._X.indptr[row + 1]
+        return self._X.indices[start:stop], self._X.data[start:stop]
+
+    def _add(self, cluster_id: int, doc_id: str) -> None:
+        ids, vals = self._doc_slice(doc_id)
+        w2 = self._w2[self._row[doc_id]]
+        dot = float(self._rep[cluster_id, ids] @ vals)
+        self._crpp[cluster_id] += 2.0 * dot + w2
+        self._ss[cluster_id] += w2
+        self._rep[cluster_id, ids] += vals
+        self._sizes[cluster_id] += 1
+        self._members[cluster_id][doc_id] = None
+        self._refresh_coeffs(cluster_id)
+
+    def _remove(self, cluster_id: int, doc_id: str) -> None:
+        del self._members[cluster_id][doc_id]
+        ids, vals = self._doc_slice(doc_id)
+        w2 = self._w2[self._row[doc_id]]
+        dot = float(self._rep[cluster_id, ids] @ vals)
+        self._crpp[cluster_id] += -2.0 * dot + w2
+        self._ss[cluster_id] -= w2
+        self._rep[cluster_id, ids] -= vals
+        self._sizes[cluster_id] -= 1
+        if self._sizes[cluster_id] == 0:
+            self._rep[cluster_id, :] = 0.0
+            self._crpp[cluster_id] = 0.0
+            self._ss[cluster_id] = 0.0
+        self._refresh_coeffs(cluster_id)
+
+    # -- gain queries -----------------------------------------------------
+
+    def best_gain(self, doc_id: str) -> Tuple[int, float]:
+        ids, vals = self._doc_slice(doc_id)
+        cr = self._rep[:, ids] @ vals
+        gains = self._gain_a * cr + self._gain_b
+        best = int(np.argmax(gains))
+        return best, float(gains[best])
+
+    def best_gains(
+        self, doc_ids: Sequence[str]
+    ) -> List[Tuple[int, float]]:
+        n = len(doc_ids)
+        if n == 0:
+            return []
+        rows = np.fromiter(
+            (self._row[d] for d in doc_ids), dtype=np.int64, count=n
+        )
+        best_out = np.empty(n, dtype=np.int64)
+        gain_out = np.empty(n, dtype=np.float64)
+        gains = np.empty(self.k, dtype=np.float64)
+        block = self._block_size
+        for start in range(0, n, block):
+            stop = min(start + block, n)
+            self._sweep_block(
+                doc_ids[start:stop], rows[start:stop], gains,
+                best_out[start:stop], gain_out[start:stop],
+            )
+        return list(zip(best_out.tolist(), gain_out.tolist()))
+
+    def _block(
+        self, block_rows: np.ndarray
+    ) -> Tuple[object, np.ndarray]:
+        """Block slice ``Xb`` and its Gram matrix, cached across passes.
+
+        ``X`` is immutable for the engine's lifetime and every
+        assignment pass sweeps the documents in the same order, so the
+        (sparse-sparse, and therefore expensive) Gram products are paid
+        once per fit instead of once per iteration.
+        """
+        nb = len(block_rows)
+        first = int(block_rows[0])
+        cached = self._block_cache.get(first)
+        if cached is not None and np.array_equal(cached[0], block_rows):
+            return cached[1], cached[2]
+        if first + nb - 1 == int(block_rows[-1]) and np.array_equal(
+            block_rows, np.arange(first, first + nb, dtype=np.int64)
+        ):
+            # the usual case (pass order == matrix order): a cheap slice
+            # instead of the fancy-index extraction product
+            Xb = self._X[first:first + nb]
+        else:
+            Xb = self._X[block_rows]
+        Gb = (Xb @ Xb.T).toarray()
+        self._block_cache[first] = (block_rows.copy(), Xb, Gb)
+        return Xb, Gb
+
+    def _sweep_block(
+        self,
+        block_ids: Sequence[str],
+        block_rows: np.ndarray,
+        gains: np.ndarray,
+        best_out: np.ndarray,
+        gain_out: np.ndarray,
+    ) -> None:
+        """One block of the assignment sweep, answered by two matmuls.
+
+        ``ST[p, i]`` starts as ``c⃗_p · w⃗_i`` against the block-entry
+        representatives; every membership move inside the block folds
+        the corresponding Gram row into the not-yet-processed columns,
+        so each document sees exactly the representative state the
+        sequential reference loop would have seen. Representative rows
+        themselves are updated once per block from the accumulated
+        moves (one sparse product), not per document.
+        """
+        nb = len(block_ids)
+        Xb, Gb = self._block(block_rows)
+        # cluster-major layout: the per-move correction touches one
+        # contiguous row slice, and Gb is exactly symmetric (sorted
+        # CSR indices), so its rows stand in for its columns
+        ST = np.ascontiguousarray(np.asarray(Xb @ self._rep.T).T)
+        move_cluster: List[int] = []
+        move_idx: List[int] = []
+        move_sign: List[float] = []
+        emptied: set = set()
+        assigned = self._assigned
+        crpp, ss, sizes = self._crpp, self._ss, self._sizes
+        members = self._members
+        w2s = self._w2
+        gain_a, gain_b = self._gain_a, self._gain_b
+        is_g = self._criterion == "g"
+        w2_blk = [w2s[r] for r in block_rows.tolist()]
+        i = 0
+        spec_fails = 0
+        while i < nb:
+            # vectorised fast path over a run of net-stationary
+            # documents; gives up for the block after three immediate
+            # misses (e.g. the first pass, where every document moves)
+            if spec_fails < 3 and nb - i > 16:
+                advanced = self._speculate(
+                    block_ids, i, ST, w2_blk, best_out, gain_out
+                )
+                if advanced:
+                    spec_fails = 0
+                    i += advanced
+                    if i >= nb:
+                        break
+                else:
+                    spec_fails += 1
+            doc_id = block_ids[i]
+            w2 = w2_blk[i]
+            current = assigned.pop(doc_id, None)
+            if current is not None:
+                dot = float(ST[current, i])
+                crpp[current] += -2.0 * dot + w2
+                ss[current] -= w2
+                n = sizes[current] - 1
+                sizes[current] = n
+                del members[current][doc_id]
+                if n == 0:
+                    crpp[current] = 0.0
+                    ss[current] = 0.0
+                    emptied.add(current)
+                    gain_a[current] = 0.0
+                    gain_b[current] = 0.0
+                elif is_g:
+                    if n == 1:
+                        gain_a[current] = 2.0
+                        gain_b[current] = 0.0
+                    else:
+                        gain_a[current] = 2.0 / n
+                        gain_b[current] = \
+                            -(crpp[current] - ss[current]) / (n * (n - 1))
+                else:
+                    diff = crpp[current] - ss[current]
+                    gain_a[current] = 2.0 / (n * (n + 1))
+                    avg_cur = diff / (n * (n - 1)) if n > 1 else 0.0
+                    gain_b[current] = diff / (n * (n + 1)) - avg_cur
+                ST[current, i] = dot - w2
+                ST[current, i + 1:] -= Gb[i, i + 1:]
+                move_cluster.append(current)
+                move_idx.append(i)
+                move_sign.append(-1.0)
+            if w2 <= 0.0:
+                best_out[i] = -1
+                gain_out[i] = NO_GAIN
+                i += 1
+                continue
+            np.multiply(gain_a, ST[:, i], out=gains)
+            gains += gain_b
+            best = int(np.argmax(gains))
+            gain = float(gains[best])
+            best_out[i] = best
+            gain_out[i] = gain
+            if gain > 0.0:
+                dot = float(ST[best, i])
+                crpp[best] += 2.0 * dot + w2
+                ss[best] += w2
+                n = sizes[best] + 1
+                sizes[best] = n
+                members[best][doc_id] = None
+                assigned[doc_id] = best
+                if is_g:
+                    if n == 1:
+                        gain_a[best] = 2.0
+                        gain_b[best] = 0.0
+                    else:
+                        gain_a[best] = 2.0 / n
+                        gain_b[best] = \
+                            -(crpp[best] - ss[best]) / (n * (n - 1))
+                else:
+                    diff = crpp[best] - ss[best]
+                    gain_a[best] = 2.0 / (n * (n + 1))
+                    avg_cur = diff / (n * (n - 1)) if n > 1 else 0.0
+                    gain_b[best] = diff / (n * (n + 1)) - avg_cur
+                ST[best, i + 1:] += Gb[i, i + 1:]
+                move_cluster.append(best)
+                move_idx.append(i)
+                move_sign.append(1.0)
+            i += 1
+        if move_idx:
+            delta = (
+                _sp.csr_matrix(
+                    (
+                        np.asarray(move_sign, dtype=np.float64),
+                        (
+                            np.asarray(move_cluster, dtype=np.int64),
+                            np.asarray(move_idx, dtype=np.int64),
+                        ),
+                    ),
+                    shape=(self.k, nb),
+                )
+                @ Xb
+            ).tocsr()
+            indptr, indices, data = delta.indptr, delta.indices, delta.data
+            for cluster_id in set(move_cluster):
+                lo, hi = indptr[cluster_id], indptr[cluster_id + 1]
+                if lo != hi:
+                    self._rep[cluster_id, indices[lo:hi]] += data[lo:hi]
+        for cluster_id in emptied:
+            if sizes[cluster_id] == 0:
+                # clear the float residue, as the direct path does
+                self._rep[cluster_id, :] = 0.0
+
+    def _speculate(
+        self,
+        block_ids: Sequence[str],
+        i0: int,
+        ST: np.ndarray,
+        w2_blk: List[float],
+        best_out: np.ndarray,
+        gain_out: np.ndarray,
+    ) -> int:
+        """Resolve a leading run of net-stationary documents at once.
+
+        In converged iterations almost every document is removed,
+        probed, and re-joins the cluster it came from — a net no-op on
+        every cluster's accounting. This path evaluates the Eq. 25-26
+        gains of all remaining documents in one broadcast (each with
+        its own-cluster coefficients adjusted for its removal, exactly
+        as the sequential loop computes them), records the decisions up
+        to the first document that actually changes membership, and
+        returns how many were resolved; the caller's sequential loop
+        takes over at the first net mover. Returns 0 when the very next
+        document moves.
+        """
+        assigned = self._assigned
+        stop_at = min(i0 + SPECULATE_WINDOW, ST.shape[1])
+        STv = ST[:, i0:stop_at]
+        m = STv.shape[1]
+        ids = block_ids[i0:stop_at]
+        cur = np.fromiter(
+            (assigned.get(d, -1) for d in ids), dtype=np.int64, count=m
+        )
+        w2v = np.asarray(w2_blk[i0:stop_at], dtype=np.float64)
+        G = self._gain_a[:, None] * STv
+        G += self._gain_b[:, None]
+        asg = cur >= 0
+        if asg.any():
+            j = np.flatnonzero(asg)
+            c = cur[j]
+            dots = STv[c, j]
+            w2a = w2v[j]
+            crpp1 = np.asarray(self._crpp)[c] + (-2.0 * dots + w2a)
+            ss1 = np.asarray(self._ss)[c] - w2a
+            n1 = np.asarray(self._sizes)[c] - 1
+            dprime = dots - w2a
+            if self._criterion == "g":
+                a_ = 2.0 / np.maximum(n1, 1)
+                b_ = -(crpp1 - ss1) / np.maximum(n1 * (n1 - 1), 1)
+                g_own = np.where(
+                    n1 <= 0, 0.0,
+                    np.where(n1 == 1, 2.0 * dprime, a_ * dprime + b_),
+                )
+            else:
+                diff = crpp1 - ss1
+                d1 = np.maximum(n1 * (n1 + 1), 1)
+                a_ = 2.0 / d1
+                avg_cur = np.where(
+                    n1 > 1, diff / np.maximum(n1 * (n1 - 1), 1), 0.0
+                )
+                b_ = diff / d1 - avg_cur
+                g_own = np.where(n1 <= 0, 0.0, a_ * dprime + b_)
+            G[c, j] = g_own
+        best0 = np.argmax(G, axis=0)
+        gain0 = G[best0, np.arange(m)]
+        empty = w2v <= 0.0
+        join = gain0 > 0.0
+        moved = np.where(asg, (best0 != cur) | ~join, join & ~empty)
+        movers = np.flatnonzero(moved)
+        stop = int(movers[0]) if movers.size else m
+        if stop == 0:
+            return 0
+        b_seg, g_seg = best0[:stop], gain0[:stop]
+        e = empty[:stop]
+        if e.any():
+            b_seg, g_seg = b_seg.copy(), g_seg.copy()
+            b_seg[e] = -1
+            g_seg[e] = NO_GAIN
+        best_out[i0:i0 + stop] = b_seg
+        gain_out[i0:i0 + stop] = g_seg
+        # the reference loop's remove+re-add cycles a stationary doc to
+        # the end of its cluster's member dict; preserve that order so
+        # members() stays identical to the dense engine's
+        members = self._members
+        cur_l = cur[:stop].tolist()
+        for off in range(stop):
+            cluster_id = cur_l[off]
+            if cluster_id >= 0:
+                doc_id = ids[off]
+                cluster_members = members[cluster_id]
+                del cluster_members[doc_id]
+                cluster_members[doc_id] = None
+        return stop
+
+    # -- global queries ---------------------------------------------------
+
+    def sizes(self) -> List[int]:
+        return list(self._sizes)
+
+    def refresh(self) -> None:
+        fresh = np.einsum("ij,ij->i", self._rep, self._rep)
+        self._crpp = [float(value) for value in fresh]
+        for cluster_id in range(self.k):
+            self._refresh_coeffs(cluster_id)
+
+    def contributions(self) -> List[float]:
+        result: List[float] = []
+        for cluster_id in range(self.k):
+            size = self._sizes[cluster_id]
+            if size < 2:
+                result.append(0.0)
+            else:
+                result.append(
+                    (self._crpp[cluster_id] - self._ss[cluster_id])
+                    / (size - 1)
+                )
+        return result
+
+    def clustering_index(self) -> float:
+        return float(sum(self.contributions()))
+
+    def members(self) -> List[List[str]]:
+        return [list(members.keys()) for members in self._members]
+
+    def self_similarity(self, doc_id: str) -> float:
+        return self._w2[self._row[doc_id]]

@@ -32,13 +32,20 @@ pass ``recorder=`` or install an ambient recorder to collect them.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
 from ..corpus.document import Document
 from ..exceptions import ClusteringError
 from ..forgetting.model import ForgettingModel
 from ..forgetting.statistics import CorpusStatistics
 from ..obs import Recorder, Span, resolve
+from .config import (
+    _UNSET,
+    LEGACY_INCREMENTAL_ORDER,
+    LEGACY_NONINCREMENTAL_ORDER,
+    ClustererConfig,
+    resolve_clusterer_config,
+)
 from .kmeans import NoveltyKMeans
 from .result import ClusteringResult
 
@@ -49,35 +56,56 @@ class IncrementalClusterer:
     >>> model = ForgettingModel(half_life=7.0, life_span=14.0)
     >>> clusterer = IncrementalClusterer(model, k=4, seed=0)  # doctest: +SKIP
     >>> result = clusterer.process_batch(monday_docs, at_time=0.0)  # doctest: +SKIP
+
+    The K-means parameters shared with the non-incremental baseline can
+    be packaged once in a :class:`~repro.core.ClustererConfig` and
+    passed as the second argument (or ``config=``); pipeline-specific
+    switches (``warm_start``, ``rescue_outliers``) stay keywords.
+    Positional arguments beyond ``model`` follow the pre-config
+    signature for compatibility but raise a :class:`DeprecationWarning`.
     """
 
     def __init__(
         self,
         model: ForgettingModel,
-        k: int,
-        delta: float = 0.01,
-        max_iterations: int = 30,
-        seed: Optional[int] = None,
-        engine: str = "dense",
-        warm_start: bool = True,
-        rescue_outliers: bool = True,
-        recorder: Optional[Recorder] = None,
+        *args: Any,
+        config: Optional[ClustererConfig] = None,
+        k: Any = _UNSET,
+        delta: Any = _UNSET,
+        max_iterations: Any = _UNSET,
+        seed: Any = _UNSET,
+        engine: Any = _UNSET,
+        warm_start: Any = _UNSET,
+        rescue_outliers: Any = _UNSET,
+        recorder: Any = _UNSET,
     ) -> None:
+        params = resolve_clusterer_config(
+            "IncrementalClusterer",
+            args,
+            config,
+            {
+                "k": k, "delta": delta, "max_iterations": max_iterations,
+                "seed": seed, "engine": engine, "warm_start": warm_start,
+                "rescue_outliers": rescue_outliers, "recorder": recorder,
+            },
+            LEGACY_INCREMENTAL_ORDER,
+            extra_defaults={"warm_start": True, "rescue_outliers": True},
+        )
         self.model = model
-        self.recorder = resolve(recorder)
+        self.recorder = resolve(params["recorder"])
         # rescue_outliers defaults on here (unlike NoveltyKMeans): under
         # warm starts an emerging topic would otherwise never obtain a
         # cluster slot; see NoveltyKMeans for the mechanism.
         self.kmeans = NoveltyKMeans(
-            k=k,
-            delta=delta,
-            max_iterations=max_iterations,
-            seed=seed,
-            engine=engine,
-            rescue_outliers=rescue_outliers,
+            k=params["k"],
+            delta=params["delta"],
+            max_iterations=params["max_iterations"],
+            seed=params["seed"],
+            engine=params["engine"],
+            rescue_outliers=params["rescue_outliers"],
             recorder=self.recorder,
         )
-        self.warm_start = bool(warm_start)
+        self.warm_start = bool(params["warm_start"])
         self.statistics = CorpusStatistics(model, recorder=self.recorder)
         self.history: List[ClusteringResult] = []
         self._assignment: Dict[str, int] = {}
@@ -197,21 +225,33 @@ class NonIncrementalClusterer:
     def __init__(
         self,
         model: ForgettingModel,
-        k: int,
-        delta: float = 0.01,
-        max_iterations: int = 30,
-        seed: Optional[int] = None,
-        engine: str = "dense",
-        recorder: Optional[Recorder] = None,
+        *args: Any,
+        config: Optional[ClustererConfig] = None,
+        k: Any = _UNSET,
+        delta: Any = _UNSET,
+        max_iterations: Any = _UNSET,
+        seed: Any = _UNSET,
+        engine: Any = _UNSET,
+        recorder: Any = _UNSET,
     ) -> None:
+        params = resolve_clusterer_config(
+            "NonIncrementalClusterer",
+            args,
+            config,
+            {
+                "k": k, "delta": delta, "max_iterations": max_iterations,
+                "seed": seed, "engine": engine, "recorder": recorder,
+            },
+            LEGACY_NONINCREMENTAL_ORDER,
+        )
         self.model = model
-        self.recorder = resolve(recorder)
+        self.recorder = resolve(params["recorder"])
         self.kmeans = NoveltyKMeans(
-            k=k,
-            delta=delta,
-            max_iterations=max_iterations,
-            seed=seed,
-            engine=engine,
+            k=params["k"],
+            delta=params["delta"],
+            max_iterations=params["max_iterations"],
+            seed=params["seed"],
+            engine=params["engine"],
             recorder=self.recorder,
         )
         self.archive: List[Document] = []

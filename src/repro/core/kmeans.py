@@ -1,4 +1,4 @@
-"""The paper's extended K-means (Section 4.3) with two engines.
+"""The paper's extended K-means (Section 4.3) over pluggable engines.
 
 Algorithm (paper Section 4.3):
 
@@ -11,32 +11,21 @@ Algorithm (paper Section 4.3):
   **outlier list** and re-enter as normal documents next iteration.
   Terminate when ``(G_new - G_old)/G_old < δ``.
 
-Engines
--------
-
-``engine="sparse"``
-    Reference implementation built on :class:`~repro.core.Cluster`
-    (dict-backed sparse vectors). Mirrors the paper's formulas
-    line-by-line; used by the correctness tests.
-
-``engine="dense"``
-    numpy implementation: representatives live in a K×V dense matrix so
-    the per-document gain over *all* clusters is one fancy-indexed
-    matrix-vector product. Produces the same clustering (up to
-    float-summation-order ties); used by the experiment harness where
-    the corpus has thousands of documents.
-
-Both engines implement the same small backend interface consumed by the
-shared iteration loop, so the algorithm logic exists exactly once.
+The numerical backend is an :class:`~repro.core.engines.Engine`
+resolved by name from the engine registry (``"sparse"``, ``"dense"``,
+``"matrix"``, or anything registered via
+:func:`~repro.core.engines.register_engine`); the algorithm logic
+exists exactly once here and drives whichever engine is selected. Each
+iteration's assignment sweep goes through the engine's batched
+``best_gains`` so vectorised engines can answer a whole pass with
+matrix products.
 """
 
 from __future__ import annotations
 
 import random
 import time as time_module
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
-
-import numpy as np
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .._validation import (
     require_in_open_interval,
@@ -49,162 +38,14 @@ from ..obs import SPAN, Event, Recorder, Span, resolve
 from ..vectors.sparse import SparseVector
 from ..vectors.tfidf import NoveltyTfidfWeighter
 from .cluster import Cluster
+from .engines import DenseEngine, SparseEngine, resolve_engine
 from .result import ClusteringResult
 
-
-class _SparseBackend:
-    """Backend over :class:`Cluster` objects (reference implementation)."""
-
-    def __init__(
-        self, k: int, vectors: Dict[str, SparseVector], criterion: str
-    ) -> None:
-        self.clusters = [Cluster(i) for i in range(k)]
-        self._vectors = vectors
-        self._criterion = criterion
-
-    def add(self, cluster_id: int, doc_id: str) -> None:
-        self.clusters[cluster_id].add(doc_id, self._vectors[doc_id])
-
-    def remove(self, cluster_id: int, doc_id: str) -> None:
-        self.clusters[cluster_id].remove(doc_id)
-
-    def best_gain(self, doc_id: str) -> Tuple[int, float]:
-        """Return ``(cluster_id, gain)`` of the largest-gain cluster."""
-        vector = self._vectors[doc_id]
-        best_id, best_gain = -1, float("-inf")
-        for cluster in self.clusters:
-            if self._criterion == "g":
-                gain = cluster.g_gain_if_added(vector)
-            else:
-                gain = cluster.gain_if_added(vector)
-            if gain > best_gain:
-                best_id, best_gain = cluster.cluster_id, gain
-        return best_id, best_gain
-
-    def sizes(self) -> List[int]:
-        return [cluster.size for cluster in self.clusters]
-
-    def refresh(self) -> None:
-        for cluster in self.clusters:
-            cluster.refresh()
-
-    def clustering_index(self) -> float:
-        return sum(cluster.index_contribution() for cluster in self.clusters)
-
-    def members(self) -> List[List[str]]:
-        return [cluster.member_ids() for cluster in self.clusters]
-
-    def self_similarity(self, doc_id: str) -> float:
-        vector = self._vectors[doc_id]
-        return vector.dot(vector)
-
-
-class _DenseBackend:
-    """numpy backend: K×V representative matrix, vectorised gains."""
-
-    def __init__(
-        self, k: int, vectors: Dict[str, SparseVector], criterion: str
-    ) -> None:
-        self._criterion = criterion
-        term_ids = sorted({t for v in vectors.values() for t in v.keys()})
-        self._column: Dict[int, int] = {t: i for i, t in enumerate(term_ids)}
-        n_terms = max(1, len(term_ids))
-        self._doc_ids: Dict[str, np.ndarray] = {}
-        self._doc_vals: Dict[str, np.ndarray] = {}
-        self._doc_w2: Dict[str, float] = {}
-        for doc_id, vector in vectors.items():
-            items = sorted(vector.items())
-            ids = np.fromiter(
-                (self._column[t] for t, _ in items), dtype=np.int64,
-                count=len(items),
-            )
-            vals = np.fromiter(
-                (v for _, v in items), dtype=np.float64, count=len(items)
-            )
-            self._doc_ids[doc_id] = ids
-            self._doc_vals[doc_id] = vals
-            self._doc_w2[doc_id] = float(vals @ vals)
-        self._rep = np.zeros((k, n_terms), dtype=np.float64)
-        self._crpp = np.zeros(k, dtype=np.float64)
-        self._ss = np.zeros(k, dtype=np.float64)
-        self._sizes = np.zeros(k, dtype=np.int64)
-        self._members: List[Dict[str, None]] = [{} for _ in range(k)]
-
-    def add(self, cluster_id: int, doc_id: str) -> None:
-        ids, vals = self._doc_ids[doc_id], self._doc_vals[doc_id]
-        w2 = self._doc_w2[doc_id]
-        dot = float(self._rep[cluster_id, ids] @ vals)
-        self._crpp[cluster_id] += 2.0 * dot + w2
-        self._ss[cluster_id] += w2
-        self._rep[cluster_id, ids] += vals
-        self._sizes[cluster_id] += 1
-        self._members[cluster_id][doc_id] = None
-
-    def remove(self, cluster_id: int, doc_id: str) -> None:
-        del self._members[cluster_id][doc_id]
-        ids, vals = self._doc_ids[doc_id], self._doc_vals[doc_id]
-        w2 = self._doc_w2[doc_id]
-        dot = float(self._rep[cluster_id, ids] @ vals)
-        self._crpp[cluster_id] += -2.0 * dot + w2
-        self._ss[cluster_id] -= w2
-        self._rep[cluster_id, ids] -= vals
-        self._sizes[cluster_id] -= 1
-        if self._sizes[cluster_id] == 0:
-            self._rep[cluster_id, :] = 0.0
-            self._crpp[cluster_id] = 0.0
-            self._ss[cluster_id] = 0.0
-
-    def best_gain(self, doc_id: str) -> Tuple[int, float]:
-        ids, vals = self._doc_ids[doc_id], self._doc_vals[doc_id]
-        n = self._sizes
-        cr_pq = self._rep[:, ids] @ vals
-        if self._criterion == "g":
-            pair_sum = (self._crpp - self._ss) / 2.0
-            gains = np.where(
-                n > 1,
-                2.0 * (cr_pq * (n - 1) - pair_sum)
-                / np.maximum(n * (n - 1), 1),
-                np.where(n == 1, 2.0 * cr_pq, 0.0),
-            )
-        else:
-            avg_new = np.where(
-                n > 0,
-                (self._crpp + 2.0 * cr_pq - self._ss)
-                / np.maximum(n * (n + 1), 1),
-                0.0,
-            )
-            avg_cur = np.where(
-                n > 1,
-                (self._crpp - self._ss) / np.maximum(n * (n - 1), 1),
-                0.0,
-            )
-            gains = avg_new - avg_cur
-        best = int(np.argmax(gains))
-        return best, float(gains[best])
-
-    def sizes(self) -> List[int]:
-        return [int(s) for s in self._sizes]
-
-    def refresh(self) -> None:
-        self._crpp = np.einsum("ij,ij->i", self._rep, self._rep)
-
-    def clustering_index(self) -> float:
-        n = self._sizes
-        contributions = np.where(
-            n > 1,
-            (self._crpp - self._ss) / np.maximum(n - 1, 1),
-            0.0,
-        )
-        return float(contributions.sum())
-
-    def members(self) -> List[List[str]]:
-        return [list(members.keys()) for members in self._members]
-
-    def self_similarity(self, doc_id: str) -> float:
-        return self._doc_w2[doc_id]
-
-
-_BACKENDS = {"sparse": _SparseBackend, "dense": _DenseBackend}
+# Backwards-compatible aliases for the engine classes that used to be
+# private to this module (PR 1 and earlier).
+_SparseBackend = SparseEngine
+_DenseBackend = DenseEngine
+_BACKENDS = {"sparse": SparseEngine, "dense": DenseEngine}
 
 
 class NoveltyKMeans:
@@ -222,7 +63,10 @@ class NoveltyKMeans:
     seed:
         Seed for the random initial seed-document selection.
     engine:
-        ``"dense"`` (numpy, default) or ``"sparse"`` (reference).
+        Name of a registered engine (see :mod:`repro.core.engines`):
+        ``"dense"`` (numpy, default), ``"sparse"`` (reference),
+        ``"matrix"`` (vectorised CSR, requires scipy), or any name
+        added via :func:`~repro.core.engines.register_engine`.
     reseed_empty:
         When True (default), a cluster that lost all members is
         re-seeded with the strongest outlier at the end of the pass,
@@ -289,10 +133,7 @@ class NoveltyKMeans:
             "max_iterations", max_iterations
         )
         self.seed = seed
-        if engine not in _BACKENDS:
-            raise ConfigurationError(
-                f"engine must be one of {sorted(_BACKENDS)}, got {engine!r}"
-            )
+        resolve_engine(engine)  # fail fast with the list of valid names
         self.engine = engine
         self.reseed_empty = bool(reseed_empty)
         if criterion not in ("g", "avg"):
@@ -332,7 +173,9 @@ class NoveltyKMeans:
                   {"docs": len(docs)}) as vectorise_span:
             vectors = NoveltyTfidfWeighter(statistics).weighted_vectors(docs)
 
-        backend = _BACKENDS[self.engine](self.k, vectors, self.criterion)
+        backend = resolve_engine(self.engine)(
+            self.k, vectors, self.criterion
+        )
         assignment: Dict[str, int] = {}
         if initial_assignment is not None:
             self._warm_start(backend, docs, vectors, initial_assignment,
@@ -348,9 +191,8 @@ class NoveltyKMeans:
 
         for iterations in range(1, self.max_iterations + 1):
             with Span(recorder, "kmeans.pass",
-                      {"iteration": iterations}):
-                outliers = self._assignment_pass(backend, docs, vectors,
-                                                 assignment)
+                      {"iteration": iterations, "engine": self.engine}):
+                outliers = self._assignment_pass(backend, docs, assignment)
                 reseeded = 0
                 if self.reseed_empty:
                     reseeded = self._reseed_empty_clusters(
@@ -453,24 +295,26 @@ class NoveltyKMeans:
         self,
         backend,
         docs: Sequence[Document],
-        vectors: Dict[str, SparseVector],
         assignment: Dict[str, int],
     ) -> List[str]:
-        """Repetition-process step 1 over all documents; returns outliers."""
+        """Repetition-process step 1 over all documents; returns outliers.
+
+        The whole sweep is handed to the engine as one batched
+        ``best_gains`` call (each document: leave its cluster, probe
+        Eq. 26 against every cluster, join the best positive-gain one)
+        so vectorised engines can answer it with matrix products.
+        """
+        doc_ids = [doc.doc_id for doc in docs]
+        if self.recorder.enabled:
+            self.recorder.gauge("kmeans.batch_size", len(doc_ids),
+                                engine=self.engine)
+        decisions = backend.best_gains(doc_ids)
         outliers: List[str] = []
-        for doc in docs:
-            doc_id = doc.doc_id
-            current = assignment.pop(doc_id, None)
-            if current is not None:
-                backend.remove(current, doc_id)
-            if not len(vectors[doc_id]):
-                outliers.append(doc_id)
-                continue
-            best_cluster, best_gain = backend.best_gain(doc_id)
-            if best_gain > 0.0:
-                backend.add(best_cluster, doc_id)
-                assignment[doc_id] = best_cluster
+        for doc_id, (cluster_id, gain) in zip(doc_ids, decisions):
+            if cluster_id >= 0 and gain > 0.0:
+                assignment[doc_id] = cluster_id
             else:
+                assignment.pop(doc_id, None)
                 outliers.append(doc_id)
         return outliers
 
@@ -540,7 +384,7 @@ class NoveltyKMeans:
             return False
 
         sizes = backend.sizes()
-        contributions = self._contributions(backend)
+        contributions = backend.contributions()
         live = [cid for cid, size in enumerate(sizes) if size > 0]
         if not live:
             return False
@@ -582,7 +426,7 @@ class NoveltyKMeans:
         empty = [cid for cid, size in enumerate(sizes) if size == 0]
         if not empty:
             return False
-        contributions = self._contributions(backend)
+        contributions = backend.contributions()
         all_members = backend.members()
         best: Optional[Tuple[float, int, List[str]]] = None
         for cid, size in enumerate(sizes):
@@ -652,22 +496,6 @@ class NoveltyKMeans:
         for doc_id in member_ids:
             scratch.add(doc_id, vectors[doc_id])
         return scratch.index_contribution()
-
-    @staticmethod
-    def _contributions(backend) -> List[float]:
-        """Per-cluster ``|C_p|·avg_sim(C_p)`` terms of G."""
-        if isinstance(backend, _SparseBackend):
-            return [c.index_contribution() for c in backend.clusters]
-        sizes = backend.sizes()
-        contributions = []
-        for cid, size in enumerate(sizes):
-            if size < 2:
-                contributions.append(0.0)
-                continue
-            contributions.append(
-                (backend._crpp[cid] - backend._ss[cid]) / (size - 1)
-            )
-        return contributions
 
     def _converged(self, g_old: float, g_new: float) -> bool:
         """Section 4.3 step 4: ``(G_new - G_old)/G_old < δ``."""

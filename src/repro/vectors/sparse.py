@@ -56,6 +56,17 @@ class SparseVector:
         """Return the empty (all-zero) vector."""
         return cls()
 
+    @classmethod
+    def _trusted(cls, data: Dict[int, float]) -> "SparseVector":
+        """Adopt ``data`` without copying or zero-pruning.
+
+        Hot-path constructor: the caller guarantees ``data`` maps int
+        term ids to non-zero floats and hands over ownership.
+        """
+        vector = cls.__new__(cls)
+        vector._data = data
+        return vector
+
     def copy(self) -> "SparseVector":
         return SparseVector(self._data)
 
@@ -69,6 +80,9 @@ class SparseVector:
 
     def keys(self) -> Iterable[int]:
         return self._data.keys()
+
+    def values(self) -> Iterable[float]:
+        return self._data.values()
 
     def to_dict(self) -> Dict[int, float]:
         return dict(self._data)

@@ -78,8 +78,40 @@ class NoveltyTfidfWeighter:
     def weighted_vectors(
         self, documents: Iterable[Document]
     ) -> Dict[str, SparseVector]:
-        """``{doc_id: w⃗_i}`` for many documents."""
-        return {doc.doc_id: self.weighted_vector(doc) for doc in documents}
+        """``{doc_id: w⃗_i}`` for many documents.
+
+        Equivalent to calling :meth:`weighted_vector` per document but
+        with the idf lookup and vector construction inlined — this is
+        the vectorisation step of every clustering run, so the per-term
+        constant factor matters at stream scale.
+        """
+        documents = list(documents)
+        idf_cache = self._idf_cache
+        statistics_idf = self._statistics.idf
+        pr_document = self._statistics.pr_document
+        terms: set = set()
+        for doc in documents:
+            terms.update(doc.term_counts)
+        for term_id in terms.difference(idf_cache):
+            idf_cache[term_id] = statistics_idf(term_id)
+        out: Dict[str, SparseVector] = {}
+        for doc in documents:
+            length = doc.length
+            if length == 0:
+                out[doc.doc_id] = SparseVector()
+                continue
+            scale = pr_document(doc.doc_id) / length
+            if scale == 0.0:
+                out[doc.doc_id] = SparseVector()
+                continue
+            data = {
+                term_id: count * idf_cache[term_id] * scale
+                for term_id, count in doc.term_counts.items()
+            }
+            if 0.0 in data.values():  # pathological underflow only
+                data = {t: v for t, v in data.items() if v != 0.0}
+            out[doc.doc_id] = SparseVector._trusted(data)
+        return out
 
     def representative(
         self,

@@ -1,0 +1,110 @@
+"""Tests for ClustererConfig and the constructor compatibility layer."""
+
+import dataclasses
+
+import pytest
+
+from repro import (
+    ClustererConfig,
+    ForgettingModel,
+    IncrementalClusterer,
+    NonIncrementalClusterer,
+)
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def model():
+    return ForgettingModel(half_life=7.0, life_span=14.0)
+
+
+class TestClustererConfig:
+    def test_shared_config_builds_both_pipelines(self, model):
+        config = ClustererConfig(
+            k=6, delta=0.05, max_iterations=12, seed=42, engine="sparse"
+        )
+        incremental = IncrementalClusterer(model, config)
+        baseline = NonIncrementalClusterer(model, config)
+        for clusterer in (incremental, baseline):
+            assert clusterer.kmeans.k == 6
+            assert clusterer.kmeans.delta == 0.05
+            assert clusterer.kmeans.max_iterations == 12
+            assert clusterer.kmeans.seed == 42
+            assert clusterer.kmeans.engine == "sparse"
+
+    def test_config_keyword_and_replace(self, model):
+        config = ClustererConfig(k=4)
+        fast = dataclasses.replace(config, engine="dense")
+        clusterer = IncrementalClusterer(model, config=fast)
+        assert clusterer.kmeans.engine == "dense"
+
+    def test_explicit_keywords_override_config(self, model):
+        config = ClustererConfig(k=4, seed=1)
+        clusterer = IncrementalClusterer(model, config, seed=9,
+                                         warm_start=False)
+        assert clusterer.kmeans.seed == 9
+        assert clusterer.kmeans.k == 4
+        assert clusterer.warm_start is False
+
+    def test_pipeline_switches_stay_out_of_config(self):
+        names = {f.name for f in dataclasses.fields(ClustererConfig)}
+        assert names == {
+            "k", "delta", "max_iterations", "seed", "engine", "recorder"
+        }
+
+    def test_k_is_required(self, model):
+        with pytest.raises(ConfigurationError, match="k is required"):
+            IncrementalClusterer(model)
+        with pytest.raises(ConfigurationError, match="k is required"):
+            NonIncrementalClusterer(model)
+
+    def test_config_given_twice_rejected(self, model):
+        config = ClustererConfig(k=4)
+        with pytest.raises(ConfigurationError, match="config"):
+            IncrementalClusterer(model, config, config=config)
+
+
+class TestLegacyPositional:
+    def test_keyword_calls_do_not_warn(self, model, recwarn):
+        IncrementalClusterer(model, k=4, seed=0)
+        NonIncrementalClusterer(model, k=4, seed=0)
+        assert not [
+            w for w in recwarn.list
+            if issubclass(w.category, DeprecationWarning)
+        ]
+
+    def test_config_positional_does_not_warn(self, model, recwarn):
+        IncrementalClusterer(model, ClustererConfig(k=4))
+        assert not [
+            w for w in recwarn.list
+            if issubclass(w.category, DeprecationWarning)
+        ]
+
+    def test_incremental_positional_warns_and_resolves(self, model):
+        with pytest.warns(DeprecationWarning, match="positional"):
+            clusterer = IncrementalClusterer(
+                model, 5, 0.02, 10, 3, "sparse", False
+            )
+        assert clusterer.kmeans.k == 5
+        assert clusterer.kmeans.delta == 0.02
+        assert clusterer.kmeans.max_iterations == 10
+        assert clusterer.kmeans.seed == 3
+        assert clusterer.kmeans.engine == "sparse"
+        assert clusterer.warm_start is False
+
+    def test_nonincremental_positional_warns_and_resolves(self, model):
+        with pytest.warns(DeprecationWarning, match="positional"):
+            clusterer = NonIncrementalClusterer(model, 5, 0.02)
+        assert clusterer.kmeans.k == 5
+        assert clusterer.kmeans.delta == 0.02
+
+    def test_positional_keyword_conflict(self, model):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError, match="multiple values"):
+                IncrementalClusterer(model, 5, k=5)
+
+    def test_too_many_positionals(self, model):
+        with pytest.raises(TypeError, match="positional"):
+            NonIncrementalClusterer(
+                model, 5, 0.01, 30, 0, "dense", None, "extra"
+            )

@@ -1,0 +1,190 @@
+"""Tests for the pluggable engine layer (registry + cross-engine parity).
+
+The three built-in engines implement the same Eq. 19-26 accounting with
+different data structures, so under a fixed seed they must produce the
+*same clustering*: identical assignments, identical member sets, and a
+clustering index ``G`` equal up to float associativity.
+"""
+
+import math
+
+import pytest
+
+from repro import (
+    ForgettingModel,
+    IncrementalClusterer,
+    NoveltyKMeans,
+)
+from repro.core.engines import (
+    available_engines,
+    register_engine,
+    resolve_engine,
+    unregister_engine,
+)
+from repro.core.engines.dense import DenseEngine
+from repro.exceptions import ConfigurationError
+from repro.forgetting.statistics import CorpusStatistics
+from tests.conftest import build_topic_repository
+
+ENGINES = ("sparse", "dense", "matrix")
+
+
+def _has_scipy():
+    try:
+        import scipy.sparse  # noqa: F401
+        return True
+    except ImportError:  # pragma: no cover - env without scipy
+        return False
+
+
+needs_scipy = pytest.mark.skipif(
+    not _has_scipy(), reason="matrix engine requires scipy"
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    repo = build_topic_repository(days=6, docs_per_topic_per_day=3, seed=11)
+    docs = sorted(repo.documents(), key=lambda d: d.timestamp)
+    model = ForgettingModel(half_life=7.0, life_span=14.0)
+    statistics = CorpusStatistics.from_scratch(model, docs, at_time=6.0)
+    return statistics.documents(), statistics
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        for name in ENGINES:
+            assert name in available_engines()
+
+    def test_unknown_name_lists_valid_names(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            resolve_engine("no-such-engine")
+        message = str(excinfo.value)
+        assert "no-such-engine" in message
+        for name in ENGINES:
+            assert name in message
+
+    def test_kmeans_rejects_unknown_engine_eagerly(self):
+        with pytest.raises(ConfigurationError, match="available engines"):
+            NoveltyKMeans(k=4, engine="typo")
+
+    def test_custom_engine_registration(self, corpus):
+        docs, statistics = corpus
+        calls = []
+
+        def factory(k, vectors, criterion):
+            calls.append((k, criterion))
+            return DenseEngine(k, vectors, criterion)
+
+        register_engine("custom-test", factory)
+        try:
+            kmeans = NoveltyKMeans(k=4, seed=0, engine="custom-test")
+            result = kmeans.fit(docs, statistics)
+            assert calls and calls[0] == (4, "g")
+            assert result.n_documents > 0
+        finally:
+            unregister_engine("custom-test")
+        with pytest.raises(ConfigurationError):
+            resolve_engine("custom-test")
+
+    def test_duplicate_registration_refused(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_engine("dense", DenseEngine)
+
+    def test_duplicate_registration_with_overwrite(self):
+        register_engine("dense", DenseEngine, overwrite=True)
+        assert resolve_engine("dense") is DenseEngine
+
+
+@needs_scipy
+class TestEngineParity:
+    """dense / sparse / matrix must agree document-for-document."""
+
+    @pytest.mark.parametrize("criterion", ["g", "avg"])
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_single_fit_parity(self, corpus, criterion, seed):
+        docs, statistics = corpus
+        results = {}
+        for engine in ENGINES:
+            kmeans = NoveltyKMeans(k=4, seed=seed, engine=engine)
+            kmeans.criterion = criterion
+            results[engine] = kmeans.fit(docs, statistics)
+        reference = results["dense"]
+        for engine in ("sparse", "matrix"):
+            result = results[engine]
+            assert result.assignments() == reference.assignments(), engine
+            assert result.clusters == reference.clusters, engine
+            assert math.isclose(
+                result.clustering_index,
+                reference.clustering_index,
+                rel_tol=1e-9,
+            ), engine
+
+    def test_multi_window_warm_start_parity(self):
+        repo = build_topic_repository(
+            days=6, docs_per_topic_per_day=2, seed=3
+        )
+        batches = [
+            [d for d in repo if int(d.timestamp) == day] for day in range(6)
+        ]
+        model = ForgettingModel(half_life=7.0, life_span=14.0)
+        clusterers = {
+            engine: IncrementalClusterer(model, k=4, seed=1, engine=engine)
+            for engine in ENGINES
+        }
+        for day, batch in enumerate(batches):
+            window = {}
+            for engine, clusterer in clusterers.items():
+                window[engine] = clusterer.process_batch(
+                    batch, at_time=float(day + 1)
+                )
+            reference = window["dense"]
+            for engine in ("sparse", "matrix"):
+                result = window[engine]
+                assert result.assignments() == reference.assignments(), (
+                    f"{engine} diverged in window {day}"
+                )
+                assert math.isclose(
+                    result.clustering_index,
+                    reference.clustering_index,
+                    rel_tol=1e-9,
+                ), f"{engine} G diverged in window {day}"
+
+    def test_outlier_parity(self, corpus):
+        # k close to the document count forces outliers + empty slots,
+        # exercising the engines' reseed/self-similarity paths
+        docs, statistics = corpus
+        results = {
+            engine: NoveltyKMeans(k=4, seed=2, engine=engine).fit(
+                docs[:10], statistics
+            )
+            for engine in ENGINES
+        }
+        reference = results["dense"]
+        for engine in ("sparse", "matrix"):
+            assert set(results[engine].outliers) == set(reference.outliers)
+            assert (
+                results[engine].assignments() == reference.assignments()
+            )
+
+
+@needs_scipy
+class TestMatrixEngine:
+    def test_checkpoint_roundtrips_engine_name(self, tmp_path):
+        from repro.persistence import load_checkpoint, save_checkpoint
+
+        repo = build_topic_repository(
+            days=3, docs_per_topic_per_day=2, seed=9
+        )
+        model = ForgettingModel(half_life=7.0, life_span=14.0)
+        clusterer = IncrementalClusterer(
+            model, k=3, seed=0, engine="matrix"
+        )
+        clusterer.process_batch(repo.documents(), at_time=3.0)
+        path = tmp_path / "ck.json"
+        save_checkpoint(clusterer, repo.vocabulary, path)
+        restored, _ = load_checkpoint(path, repo.vocabulary)
+        assert restored.kmeans.engine == "matrix"
+        # the restored pipeline keeps clustering with the same engine
+        result = restored.process_batch([], at_time=3.5)
+        assert result.n_documents > 0

@@ -64,6 +64,48 @@ class TestCluster:
         assert code == 0
         assert "resumed from" in capsys.readouterr().out
 
+    def test_engine_flag_roundtrips_checkpoint(self, stream_file, tmp_path,
+                                               capsys):
+        pytest.importorskip("scipy")
+        import json
+
+        state = tmp_path / "state.json"
+        code = main([
+            "cluster", "--input", str(stream_file),
+            "--k", "4", "--batch-days", "3", "--engine", "matrix",
+            "--checkpoint", str(state), "--quiet",
+        ])
+        assert code == 0
+        assert json.loads(state.read_text())["kmeans"]["engine"] == "matrix"
+        code = main([
+            "cluster", "--input", str(stream_file),
+            "--resume", str(state), "--batch-days", "3", "--quiet",
+        ])
+        assert code == 0
+        assert "engine 'matrix'" in capsys.readouterr().out
+
+    def test_engine_override_on_resume(self, stream_file, tmp_path, capsys):
+        state = tmp_path / "state.json"
+        main([
+            "cluster", "--input", str(stream_file),
+            "--k", "4", "--batch-days", "3",
+            "--checkpoint", str(state), "--quiet",
+        ])
+        code = main([
+            "cluster", "--input", str(stream_file),
+            "--resume", str(state), "--engine", "sparse",
+            "--batch-days", "3", "--quiet",
+        ])
+        assert code == 0
+        assert "engine 'sparse'" in capsys.readouterr().out
+
+    def test_unknown_engine_rejected(self, stream_file):
+        with pytest.raises(SystemExit):
+            main([
+                "cluster", "--input", str(stream_file),
+                "--engine", "no-such-engine",
+            ])
+
     def test_empty_input_fails(self, tmp_path, capsys):
         empty = tmp_path / "empty.jsonl"
         empty.write_text("")
