@@ -14,13 +14,15 @@ Besides the human-readable table, the module writes
 ``benchmarks/reports/BENCH_engines.json`` — a machine-readable
 trajectory point perf PRs diff against — and asserts the engines stay
 *assignment-identical* under the shared seed (the same invariant the CI
-parity job checks on a smaller stream).
+parity job checks on a smaller stream). ``REPRO_BENCH_QUICK=1`` shrinks
+the stream and the rounds so CI can smoke-run the module on every push.
 """
 
 from __future__ import annotations
 
 import json
 import math
+import os
 import random
 import time
 from pathlib import Path
@@ -35,10 +37,11 @@ from repro.vectors.tfidf import NoveltyTfidfWeighter
 
 ENGINES = ("sparse", "dense", "matrix")
 BENCH_ENGINES_PATH = Path(__file__).parent / "reports" / "BENCH_engines.json"
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
 K = 32
 SEED = 3
-FIT_ROUNDS = 3
-PASS_ROUNDS = 3
+FIT_ROUNDS = 1 if QUICK else 3
+PASS_ROUNDS = 1 if QUICK else 3
 
 
 def _engine_list():
@@ -51,7 +54,9 @@ def _engine_list():
 
 @pytest.fixture(scope="module")
 def table1_stats():
-    config = ExperimentOneConfig(seed=1998, unlabeled_per_day=215.0)
+    config = ExperimentOneConfig(
+        seed=1998, unlabeled_per_day=20.0 if QUICK else 215.0
+    )
     repo = TDT2Generator(config.corpus_config()).generate()
     docs = [d for d in repo.documents() if d.timestamp < config.days]
     docs.sort(key=lambda d: d.timestamp)
@@ -139,6 +144,7 @@ def bench_engine_comparison(table1_stats, reporter):
 
     point = {
         "schema": 1,
+        "quick": QUICK,
         "workload": {
             "source": "bench_table1_timing",
             "documents": table1_stats.size,

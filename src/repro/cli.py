@@ -5,6 +5,7 @@
     repro generate --output stream.jsonl [--seed N] [--total-docs N]
     repro cluster  --input stream.jsonl [--k N] [--half-life D]
                    [--life-span D] [--batch-days D]
+                   [--engine NAME] [--stats-backend NAME] [--jobs N]
                    [--checkpoint state.json] [--resume state.json]
                    [--trace trace.jsonl]
     repro experiment1 [--unlabeled-per-day N]
@@ -31,6 +32,7 @@ from .core.engines import available_engines
 from .core.incremental import IncrementalClusterer
 from .core.labeling import label_clustering
 from .eval.metrics import evaluate_clustering
+from .forgetting.backends import available_backends
 from .forgetting.model import ForgettingModel
 from .persistence import load_checkpoint, save_checkpoint
 from .text.vocabulary import Vocabulary
@@ -70,6 +72,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="numerical engine for the extended K-means "
                               "(default: dense; on --resume the "
                               "checkpointed engine unless overridden)")
+    cluster.add_argument("--stats-backend",
+                         choices=sorted(available_backends()),
+                         default=None,
+                         help="corpus-statistics storage backend "
+                              "(default: dict; on --resume the "
+                              "checkpointed backend unless overridden)")
+    cluster.add_argument("--jobs", type=int, default=None,
+                         help="worker processes for the text front-end "
+                              "when the input carries raw text bodies "
+                              "(default: serial)")
     cluster.add_argument("--top-terms", type=int, default=4)
     cluster.add_argument("--checkpoint", default=None,
                          help="write final state to this path")
@@ -138,7 +150,12 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
 def _run_cluster(args: argparse.Namespace, recorder) -> int:
     vocabulary = Vocabulary()
     if args.resume:
-        clusterer, vocabulary = load_checkpoint(args.resume, vocabulary)
+        # like --engine, the statistics backend only changes *how* the
+        # numbers are stored, so it is safe to swap when resuming
+        clusterer, vocabulary = load_checkpoint(
+            args.resume, vocabulary,
+            statistics_backend=args.stats_backend,
+        )
         if recorder is not None:
             clusterer.set_recorder(recorder)
         if args.engine is not None:
@@ -160,10 +177,20 @@ def _run_cluster(args: argparse.Namespace, recorder) -> int:
         )
         clusterer = IncrementalClusterer(
             model, k=args.k, seed=args.seed,
-            engine=args.engine or "dense", recorder=recorder,
+            engine=args.engine or "dense",
+            statistics_backend=args.stats_backend or "dict",
+            recorder=recorder,
         )
 
-    documents = load_jsonl(args.input, vocabulary)
+    if recorder is not None:
+        # make the recorder ambient during loading so the text
+        # front-end's span and stemmer-cache gauges land in --trace
+        from .obs import use_recorder
+
+        with use_recorder(recorder):
+            documents = load_jsonl(args.input, vocabulary, jobs=args.jobs)
+    else:
+        documents = load_jsonl(args.input, vocabulary, jobs=args.jobs)
     documents.sort(key=lambda d: d.timestamp)
     if not documents:
         print("no documents in input", file=sys.stderr)

@@ -44,6 +44,9 @@ class ClustererConfig:
     ``engine``
         Name of a registered numerical engine
         (see :mod:`repro.core.engines`).
+    ``statistics_backend``
+        Name of a registered corpus-statistics storage backend
+        (see :mod:`repro.forgetting.backends`).
     ``recorder``
         Observability sink shared by the pipeline and its K-means.
 
@@ -57,6 +60,7 @@ class ClustererConfig:
     max_iterations: int = 30
     seed: Optional[int] = None
     engine: str = "dense"
+    statistics_backend: str = "dict"
     recorder: Optional[Recorder] = None
 
 

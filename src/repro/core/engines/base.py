@@ -114,9 +114,17 @@ class EngineBase:
     def __init__(self, k: int, vectors: Dict[str, SparseVector]) -> None:
         self.k = int(k)
         self._assigned: Dict[str, int] = {}
-        self._empty_docs = {
-            doc_id for doc_id, vector in vectors.items() if not len(vector)
-        }
+        # a CSR batch (WeightedVectorArrays) answers emptiness for the
+        # whole batch from its row pointers; asking row by row would
+        # materialise every SparseVector it exists to avoid
+        empties = getattr(vectors, "empty_doc_ids", None)
+        if callable(empties):
+            self._empty_docs = set(empties())
+        else:
+            self._empty_docs = {
+                doc_id for doc_id, vector in vectors.items()
+                if not len(vector)
+            }
 
     # -- membership -----------------------------------------------------
 

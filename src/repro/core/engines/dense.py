@@ -19,29 +19,62 @@ from .base import EngineBase
 class DenseEngine(EngineBase):
     """numpy backend: K×V representative matrix, vectorised gains."""
 
+    #: advertises the CSR construction fast path to NoveltyKMeans
+    accepts_arrays = True
+
     def __init__(
         self, k: int, vectors: Dict[str, SparseVector], criterion: str
     ) -> None:
         super().__init__(k, vectors)
         self._criterion = criterion
-        term_ids = sorted({t for v in vectors.values() for t in v.keys()})
-        self._column: Dict[int, int] = {t: i for i, t in enumerate(term_ids)}
-        n_terms = max(1, len(term_ids))
         self._doc_ids: Dict[str, np.ndarray] = {}
         self._doc_vals: Dict[str, np.ndarray] = {}
         self._doc_w2: Dict[str, float] = {}
-        for doc_id, vector in vectors.items():
-            items = sorted(vector.items())
-            ids = np.fromiter(
-                (self._column[t] for t, _ in items), dtype=np.int64,
-                count=len(items),
+        csr_parts = getattr(vectors, "csr_parts", None)
+        if callable(csr_parts):
+            # CSR batch: compact the columns and sort terms within each
+            # row in one global argsort — same column map and per-row
+            # order (terms ascending) as the per-document sorted()
+            # build below, so per-doc arrays and w2 are bit-identical
+            doc_id_list, indptr, raw_terms, raw_vals = csr_parts()
+            n_docs = len(doc_id_list)
+            term_id_arr = np.unique(raw_terms)
+            self._column = {
+                t: i for i, t in enumerate(term_id_arr.tolist())
+            }
+            n_terms = max(1, int(term_id_arr.size))
+            cols = np.searchsorted(term_id_arr, raw_terms)
+            lens = np.diff(indptr)
+            row_of = np.repeat(np.arange(n_docs, dtype=np.int64), lens)
+            order = np.argsort(row_of * n_terms + cols, kind="stable")
+            all_ids = cols[order]
+            all_vals = raw_vals[order]
+            for row, doc_id in enumerate(doc_id_list):
+                lo, hi = int(indptr[row]), int(indptr[row + 1])
+                ids = all_ids[lo:hi]
+                vals = all_vals[lo:hi]
+                self._doc_ids[doc_id] = ids
+                self._doc_vals[doc_id] = vals
+                self._doc_w2[doc_id] = float(vals @ vals)
+        else:
+            term_ids = sorted(
+                {t for v in vectors.values() for t in v.keys()}
             )
-            vals = np.fromiter(
-                (v for _, v in items), dtype=np.float64, count=len(items)
-            )
-            self._doc_ids[doc_id] = ids
-            self._doc_vals[doc_id] = vals
-            self._doc_w2[doc_id] = float(vals @ vals)
+            self._column = {t: i for i, t in enumerate(term_ids)}
+            n_terms = max(1, len(term_ids))
+            for doc_id, vector in vectors.items():
+                items = sorted(vector.items())
+                ids = np.fromiter(
+                    (self._column[t] for t, _ in items), dtype=np.int64,
+                    count=len(items),
+                )
+                vals = np.fromiter(
+                    (v for _, v in items), dtype=np.float64,
+                    count=len(items),
+                )
+                self._doc_ids[doc_id] = ids
+                self._doc_vals[doc_id] = vals
+                self._doc_w2[doc_id] = float(vals @ vals)
         self._rep = np.zeros((k, n_terms), dtype=np.float64)
         self._crpp = np.zeros(k, dtype=np.float64)
         self._ss = np.zeros(k, dtype=np.float64)

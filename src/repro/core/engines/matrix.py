@@ -58,6 +58,9 @@ SPECULATE_WINDOW = 64
 class MatrixEngine(EngineBase):
     """CSR document matrix + dense representatives, blockwise sweeps."""
 
+    #: advertises the CSR construction fast path to NoveltyKMeans
+    accepts_arrays = True
+
     def __init__(
         self,
         k: int,
@@ -74,24 +77,38 @@ class MatrixEngine(EngineBase):
         self._criterion = criterion
         self._block_size = max(1, int(block_size))
 
-        n_docs = len(vectors)
-        self._row: Dict[str, int] = {
-            doc_id: row for row, doc_id in enumerate(vectors)
-        }
-        lens = np.fromiter(
-            (len(v) for v in vectors.values()), dtype=np.int64, count=n_docs
-        )
-        total_nnz = int(lens.sum())
-        indptr = np.zeros(n_docs + 1, dtype=np.int64)
-        np.cumsum(lens, out=indptr[1:])
-        raw_terms = np.fromiter(
-            chain.from_iterable(v.keys() for v in vectors.values()),
-            dtype=np.int64, count=total_nnz,
-        )
-        raw_vals = np.fromiter(
-            chain.from_iterable(v.values() for v in vectors.values()),
-            dtype=np.float64, count=total_nnz,
-        )
+        csr_parts = getattr(vectors, "csr_parts", None)
+        if callable(csr_parts):
+            # CSR batch from the vectoriser: the flat arrays are already
+            # exactly what the extraction below produces, minus the
+            # per-term Python iteration
+            doc_id_list, indptr, raw_terms, raw_vals = csr_parts()
+            n_docs = len(doc_id_list)
+            self._row: Dict[str, int] = {
+                doc_id: row for row, doc_id in enumerate(doc_id_list)
+            }
+            indptr = np.asarray(indptr, dtype=np.int64)
+            lens = np.diff(indptr)
+        else:
+            n_docs = len(vectors)
+            self._row = {
+                doc_id: row for row, doc_id in enumerate(vectors)
+            }
+            lens = np.fromiter(
+                (len(v) for v in vectors.values()), dtype=np.int64,
+                count=n_docs,
+            )
+            total_nnz = int(lens.sum())
+            indptr = np.zeros(n_docs + 1, dtype=np.int64)
+            np.cumsum(lens, out=indptr[1:])
+            raw_terms = np.fromiter(
+                chain.from_iterable(v.keys() for v in vectors.values()),
+                dtype=np.int64, count=total_nnz,
+            )
+            raw_vals = np.fromiter(
+                chain.from_iterable(v.values() for v in vectors.values()),
+                dtype=np.float64, count=total_nnz,
+            )
         # compact the columns and sort terms within each row in one
         # global argsort — same column map and per-row order as the
         # dense engine's per-document sorted() build

@@ -75,6 +75,7 @@ class IncrementalClusterer:
         max_iterations: Any = _UNSET,
         seed: Any = _UNSET,
         engine: Any = _UNSET,
+        statistics_backend: Any = _UNSET,
         warm_start: Any = _UNSET,
         rescue_outliers: Any = _UNSET,
         recorder: Any = _UNSET,
@@ -85,7 +86,9 @@ class IncrementalClusterer:
             config,
             {
                 "k": k, "delta": delta, "max_iterations": max_iterations,
-                "seed": seed, "engine": engine, "warm_start": warm_start,
+                "seed": seed, "engine": engine,
+                "statistics_backend": statistics_backend,
+                "warm_start": warm_start,
                 "rescue_outliers": rescue_outliers, "recorder": recorder,
             },
             LEGACY_INCREMENTAL_ORDER,
@@ -106,7 +109,11 @@ class IncrementalClusterer:
             recorder=self.recorder,
         )
         self.warm_start = bool(params["warm_start"])
-        self.statistics = CorpusStatistics(model, recorder=self.recorder)
+        self.statistics = CorpusStatistics(
+            model,
+            recorder=self.recorder,
+            backend=params["statistics_backend"],
+        )
         self.history: List[ClusteringResult] = []
         self._assignment: Dict[str, int] = {}
 
@@ -151,9 +158,10 @@ class IncrementalClusterer:
                     f"documents; have {self.statistics.size} active "
                     f"+ {len(batch)} new"
                 )
-        # transaction snapshot: clone() shares immutable documents, so
-        # this is two dict copies — far cheaper than the decay pass
-        # observe() is about to do over the same entries
+        # transaction snapshot: clone() shares immutable documents and
+        # only copies the backend's bookkeeping (weights, term masses,
+        # document registry, insertion order) — far cheaper than the
+        # decay pass observe() is about to do over the same entries
         snapshot = self.statistics.clone()
         previous_assignment = dict(self._assignment)
         try:
@@ -232,6 +240,7 @@ class NonIncrementalClusterer:
         max_iterations: Any = _UNSET,
         seed: Any = _UNSET,
         engine: Any = _UNSET,
+        statistics_backend: Any = _UNSET,
         recorder: Any = _UNSET,
     ) -> None:
         params = resolve_clusterer_config(
@@ -240,7 +249,9 @@ class NonIncrementalClusterer:
             config,
             {
                 "k": k, "delta": delta, "max_iterations": max_iterations,
-                "seed": seed, "engine": engine, "recorder": recorder,
+                "seed": seed, "engine": engine,
+                "statistics_backend": statistics_backend,
+                "recorder": recorder,
             },
             LEGACY_NONINCREMENTAL_ORDER,
         )
@@ -254,6 +265,7 @@ class NonIncrementalClusterer:
             engine=params["engine"],
             recorder=self.recorder,
         )
+        self.statistics_backend = str(params["statistics_backend"])
         self.archive: List[Document] = []
         self.statistics: Optional[CorpusStatistics] = None
         self.history: List[ClusteringResult] = []
@@ -290,6 +302,7 @@ class NonIncrementalClusterer:
                 self.statistics = CorpusStatistics.from_scratch(
                     self.model, self.archive, at_time,
                     recorder=self.recorder,
+                    backend=self.statistics_backend,
                 )
 
             active = self.statistics.documents()

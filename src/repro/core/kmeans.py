@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import random
 import time as time_module
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from .._validation import (
     require_in_open_interval,
@@ -46,6 +46,20 @@ from .result import ClusteringResult
 _SparseBackend = SparseEngine
 _DenseBackend = DenseEngine
 _BACKENDS = {"sparse": SparseEngine, "dense": DenseEngine}
+
+
+def _empty_doc_set(vectors: Mapping[str, SparseVector]) -> Set[str]:
+    """Doc ids with zero-component vectors, without materialising rows.
+
+    A CSR batch (``WeightedVectorArrays``) answers this from its row
+    pointers; asking ``len(vectors[doc_id])`` per document would build
+    the per-document dicts the array path exists to avoid.
+    """
+    empties = getattr(vectors, "empty_doc_ids", None)
+    if callable(empties):
+        return set(empties())
+    return {doc_id for doc_id, vector in vectors.items()
+            if not len(vector)}
 
 
 class NoveltyKMeans:
@@ -169,13 +183,18 @@ class NoveltyKMeans:
                 f"initialisation, got {len(docs)}"
             )
         recorder = self.recorder
+        factory = resolve_engine(self.engine)
         with Span(recorder, "kmeans.vectorise",
                   {"docs": len(docs)}) as vectorise_span:
-            vectors = NoveltyTfidfWeighter(statistics).weighted_vectors(docs)
+            weighter = NoveltyTfidfWeighter(statistics)
+            if getattr(factory, "accepts_arrays", False):
+                # engines that consume CSR rows directly skip the
+                # per-document dict construction entirely
+                vectors = weighter.weighted_arrays(docs)
+            else:
+                vectors = weighter.weighted_vectors(docs)
 
-        backend = resolve_engine(self.engine)(
-            self.k, vectors, self.criterion
-        )
+        backend = factory(self.k, vectors, self.criterion)
         assignment: Dict[str, int] = {}
         if initial_assignment is not None:
             self._warm_start(backend, docs, vectors, initial_assignment,
@@ -253,12 +272,13 @@ class NoveltyKMeans:
         self,
         backend,
         docs: Sequence[Document],
-        vectors: Dict[str, SparseVector],
+        vectors: Mapping[str, SparseVector],
         assignment: Dict[str, int],
     ) -> None:
         """Initial process step 1: K random singleton clusters."""
         rng = random.Random(self.seed)
-        candidates = [d.doc_id for d in docs if len(vectors[d.doc_id])]
+        empty = _empty_doc_set(vectors)
+        candidates = [d.doc_id for d in docs if d.doc_id not in empty]
         if not candidates:
             raise ClusteringError(
                 "no document has a non-zero vector; nothing to cluster"
@@ -272,12 +292,13 @@ class NoveltyKMeans:
         self,
         backend,
         docs: Sequence[Document],
-        vectors: Dict[str, SparseVector],
+        vectors: Mapping[str, SparseVector],
         initial_assignment: Dict[str, int],
         assignment: Dict[str, int],
     ) -> None:
         """Section 5.2 step 3: previous clusters as initial clusters."""
         known = {doc.doc_id for doc in docs}
+        empty = _empty_doc_set(vectors)
         for doc_id, cluster_id in initial_assignment.items():
             if doc_id not in known:
                 continue
@@ -286,7 +307,7 @@ class NoveltyKMeans:
                     f"initial assignment of {doc_id!r} to cluster "
                     f"{cluster_id} outside [0, {self.k})"
                 )
-            if not len(vectors[doc_id]):
+            if doc_id in empty:
                 continue
             backend.add(cluster_id, doc_id)
             assignment[doc_id] = cluster_id
@@ -355,7 +376,7 @@ class NoveltyKMeans:
     def _rescue_outliers(
         self,
         backend,
-        vectors: Dict[str, SparseVector],
+        vectors: Mapping[str, SparseVector],
         outliers: List[str],
         assignment: Dict[str, int],
     ) -> bool:
@@ -407,7 +428,7 @@ class NoveltyKMeans:
     def _split_repair(
         self,
         backend,
-        vectors: Dict[str, SparseVector],
+        vectors: Mapping[str, SparseVector],
         assignment: Dict[str, int],
     ) -> bool:
         """Fill an empty slot by splitting a low-cohesion cluster.
@@ -457,7 +478,7 @@ class NoveltyKMeans:
 
     @staticmethod
     def _propose_split(
-        members: List[str], vectors: Dict[str, SparseVector]
+        members: List[str], vectors: Mapping[str, SparseVector]
     ) -> List[str]:
         """Members to move out: the half closer to the 'odd one out'.
 
@@ -489,7 +510,7 @@ class NoveltyKMeans:
 
     @staticmethod
     def _scratch_contribution(
-        member_ids: List[str], vectors: Dict[str, SparseVector]
+        member_ids: List[str], vectors: Mapping[str, SparseVector]
     ) -> float:
         """``|C|·avg_sim`` of a hypothetical cluster over ``member_ids``."""
         scratch = Cluster(-1)

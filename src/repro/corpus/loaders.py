@@ -11,9 +11,9 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Iterable, List, Union
+from typing import Iterable, List, Optional, Union
 
-from ..text import Vocabulary
+from ..text import TextPipeline, Vocabulary
 from .document import Document
 
 PathLike = Union[str, Path]
@@ -44,13 +44,26 @@ def save_jsonl(
     return count
 
 
-def load_jsonl(path: PathLike, vocabulary: Vocabulary) -> List[Document]:
+def load_jsonl(
+    path: PathLike,
+    vocabulary: Vocabulary,
+    pipeline: Optional[TextPipeline] = None,
+    jobs: Optional[int] = None,
+) -> List[Document]:
     """Read documents from a JSONL file produced by :func:`save_jsonl`.
 
     Term strings are (re)interned into ``vocabulary``, growing it as
     needed, so a loaded corpus composes with documents ingested live.
+
+    Records may carry pre-counted ``terms`` or a raw ``text`` body;
+    bodies are tokenised through ``pipeline`` (a default
+    :class:`~repro.text.TextPipeline` if not given). ``jobs`` > 1
+    parallelises that text stage across processes — it has no effect
+    on ``terms`` records.
     """
     documents: List[Document] = []
+    raw_texts: List[str] = []
+    raw_slots: List[int] = []
     with open(path, "r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
             line = line.strip()
@@ -62,22 +75,47 @@ def load_jsonl(path: PathLike, vocabulary: Vocabulary) -> List[Document]:
                 raise ValueError(
                     f"{path}:{line_number}: invalid JSON: {exc}"
                 ) from exc
-            for required in ("doc_id", "timestamp", "terms"):
+            for required in ("doc_id", "timestamp"):
                 if required not in record:
                     raise ValueError(
                         f"{path}:{line_number}: missing field {required!r}"
                     )
+            if "terms" in record:
+                term_counts = {
+                    vocabulary.add(term): int(count)
+                    for term, count in record["terms"].items()
+                }
+            elif "text" in record:
+                # counts are filled in after the batched text pass below
+                term_counts = {}
+                raw_texts.append(str(record["text"]))
+                raw_slots.append(len(documents))
+            else:
+                raise ValueError(
+                    f"{path}:{line_number}: missing field 'terms' or 'text'"
+                )
             documents.append(
                 Document(
                     doc_id=record["doc_id"],
                     timestamp=float(record["timestamp"]),
-                    term_counts={
-                        vocabulary.add(term): int(count)
-                        for term, count in record["terms"].items()
-                    },
+                    term_counts=term_counts,
                     topic_id=record.get("topic_id"),
                     source=record.get("source"),
                     title=record.get("title"),
                 )
+            )
+    if raw_texts:
+        if pipeline is None:
+            pipeline = TextPipeline()
+        counts_list = pipeline.batch_term_frequencies(raw_texts, jobs=jobs)
+        for slot, counts in zip(raw_slots, counts_list):
+            stale = documents[slot]
+            documents[slot] = Document(
+                doc_id=stale.doc_id,
+                timestamp=stale.timestamp,
+                term_counts=vocabulary.add_counts(counts),
+                topic_id=stale.topic_id,
+                source=stale.source,
+                title=stale.title,
             )
     return documents

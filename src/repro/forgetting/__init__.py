@@ -1,6 +1,19 @@
 """Document forgetting model and incremental corpus statistics (paper §3, §5.1)."""
 
+from .backends import (
+    available_backends,
+    register_backend,
+    resolve_backend,
+    unregister_backend,
+)
 from .model import ForgettingModel
 from .statistics import CorpusStatistics
 
-__all__ = ["ForgettingModel", "CorpusStatistics"]
+__all__ = [
+    "ForgettingModel",
+    "CorpusStatistics",
+    "register_backend",
+    "unregister_backend",
+    "available_backends",
+    "resolve_backend",
+]

@@ -1,0 +1,134 @@
+"""The :class:`StatisticsBackend` protocol.
+
+A *statistics backend* is the state store of
+:class:`~repro.forgetting.CorpusStatistics`: it owns the per-document
+weights ``dw_i`` (Eq. 1/27), the total weight ``tdw`` (Eq. 3/28) and
+the per-term masses ``S_k`` behind ``Pr(t_k)`` (Eq. 10), and applies
+the four mutations the incremental update needs — decay, batch insert,
+removal, and the expiry scan. The *semantics* (clock handling, batch
+validation, spans, the §5.2 expiry step) live exactly once in
+:class:`CorpusStatistics`; backends only answer state queries and apply
+mutations, so a new representation (columnar arrays, shared memory,
+out-of-core) plugs in without touching the update logic — the same
+split the clustering layer uses for its engines.
+
+Backends are constructed with no arguments via a factory registered in
+:mod:`repro.forgetting.backends.registry` and selected by name through
+``CorpusStatistics(model, backend="columnar")``, the pipeline
+clusterers, checkpoints, and ``repro cluster --stats-backend``.
+
+All mutating calls keep Eq. 27-29's incremental bookkeeping exact:
+
+* :meth:`~StatisticsBackend.decay` applies one global multiplier
+  ``λ^Δτ`` to every weight and mass,
+* :meth:`~StatisticsBackend.insert_batch` adds each document's
+  ``dw_i`` and its ``dw_i · f_ik / len_i`` term contributions,
+* :meth:`~StatisticsBackend.remove` reverses exactly those
+  contributions.
+
+Term masses are reported *scaled* (any internal lazy scale factor is
+already applied), so ``Pr(t_k) = term_mass(k) / tdw`` holds for every
+backend.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ...corpus.document import Document
+
+try:  # pragma: no cover - Protocol is 3.8+, runtime_checkable too
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover - very old pythons
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+
+#: Fold the internal lazy scale factor back into the raw table before it
+#: underflows (a huge time jump can reach 0.0 in one multiply, which
+#: would poison every later insert with a division by zero).
+SCALE_FLOOR = 1e-150
+
+
+@runtime_checkable
+class StatisticsBackend(Protocol):
+    """State store behind :class:`~repro.forgetting.CorpusStatistics`.
+
+    ``tdw`` is a plain mutable attribute (not a property) so tests can
+    simulate drift; ``recorder`` is attached by the owning statistics
+    object and is only used for internal-maintenance counters such as
+    ``statistics.scale_folds``.
+    """
+
+    tdw: float
+
+    # -- mutations -------------------------------------------------------
+
+    def decay(self, factor: float) -> None:
+        """Multiply every weight and term mass by ``λ^Δτ`` (Eq. 27-28)."""
+
+    def insert_batch(
+        self, entries: Sequence[Tuple[Document, float]]
+    ) -> None:
+        """Insert ``(document, weight)`` pairs (Eq. 27-28 insertions).
+
+        Callers guarantee the doc ids are new; term contributions are
+        ``weight · f_ik / len_i`` per Eq. 10's numerator.
+        """
+
+    def remove(self, doc: Document) -> Tuple[float, bool]:
+        """Reverse one document's contributions.
+
+        Returns ``(weight_removed, tdw_clamped)`` — the flag is True
+        when float residue drove ``tdw`` negative and it was clamped
+        back to 0.0 (the owner emits an obs counter for that).
+        """
+
+    def remove_batch(self, docs: Sequence[Document]) -> bool:
+        """Reverse many documents' contributions in one pass.
+
+        Semantically ``any(remove(doc)[1] for doc in docs)`` — returns
+        whether any ``tdw`` clamp fired — but lets array backends batch
+        the term-mass reversal (the expiry path removes whole cohorts).
+        """
+
+    def expired_doc_ids(self, epsilon: float) -> List[str]:
+        """Ids of documents with ``dw == 0.0 or dw < ε``, in insertion
+        order (the §5.2 step-2 scan)."""
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of tracked documents."""
+
+    def dw(self, doc_id: str) -> float:
+        """Weight of one document; raises ``KeyError`` when unknown."""
+
+    def weights(self) -> Dict[str, float]:
+        """``{doc_id: dw_i}`` snapshot in insertion order."""
+
+    @property
+    def min_weight_bound(self) -> float:
+        """A lower bound on the smallest active weight (``inf`` when
+        empty). Conservative: may under-estimate after removals, never
+        over-estimates — the expiry fast path relies on that."""
+
+    def term_mass(self, term_id: int) -> float:
+        """Scaled term mass ``S_k`` (0.0 when absent or non-positive)."""
+
+    def term_mass_array(self, term_ids: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`term_mass` over an int64 id array."""
+
+    def term_ids(self) -> List[int]:
+        """Ids of all terms with positive mass."""
+
+    def vocabulary_size(self) -> int:
+        """Number of term slots currently holding positive mass."""
+
+    def clone(self) -> "StatisticsBackend":
+        """Independent deep copy of the state."""

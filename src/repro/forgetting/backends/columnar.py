@@ -1,0 +1,434 @@
+"""The ``"columnar"`` array backend.
+
+Stores document weights and term masses in flat numpy arrays with
+interned term ids, so every maintenance step the dict backend runs as
+an interpreted per-entry loop becomes a handful of vectorised array
+operations:
+
+* **decay** (Eq. 27-28) — the dict backend already keeps *term* masses
+  under one lazy global scale factor; here the same trick is extended
+  to the document weights: ``λ^Δτ`` multiplies two scalars instead of
+  every entry, and each scale is folded back into its raw array before
+  it underflows (same ``SCALE_FLOOR`` threshold, same
+  ``statistics.scale_folds`` counter);
+* **batch insert** — the batch's term contributions are concatenated
+  into one CSR-style ``(term_id, value)`` run and scatter-added with
+  ``np.add.at`` after a vectorised intern lookup;
+* **expiry scan** — one threshold mask over the weight array instead
+  of a Python loop over every active document.
+
+``tdw`` stays an eagerly-updated scalar with the exact per-document
+add/subtract order of the dict backend, so the two backends' ``tdw``
+match bit-for-bit on identical histories; per-document weights and
+term masses agree to float rounding (the property suite asserts 1e-9).
+
+Term ids are interned to dense columns through a direct-index table
+(``term_id -> column``, -1 when absent) — vocabulary ids are small
+dense integers, so one fancy-indexing gather replaces a
+``searchsorted`` per lookup; removed documents leave holes in the row
+arrays that are compacted away once they dominate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...corpus.document import Document
+from ...obs import NULL_RECORDER
+from .base import SCALE_FLOOR
+
+_MIN_CAPACITY = 64
+
+
+class ColumnarStatisticsBackend:
+    """Array-backed state store (numpy only, no scipy required)."""
+
+    name = "columnar"
+
+    def __init__(self) -> None:
+        self.recorder = NULL_RECORDER
+        self.tdw = 0.0
+        # rows: one slot per inserted document, in insertion order;
+        # removal blanks the slot (compacted when holes dominate)
+        self._doc_row: Dict[str, int] = {}
+        self._row_doc: List[Optional[str]] = []
+        self._dw_raw = np.zeros(0, dtype=np.float64)
+        self._active = np.zeros(0, dtype=bool)
+        self._dw_scale = 1.0
+        self._min_dw = math.inf
+        # columns: one slot per interned term id
+        self._mass_raw = np.zeros(0, dtype=np.float64)
+        self._mass_scale = 1.0
+        self._n_terms = 0
+        self._col_term = np.zeros(0, dtype=np.int64)   # col -> term id
+        self._term_col = np.zeros(0, dtype=np.int64)   # term id -> col, -1
+
+    # -- internal helpers --------------------------------------------------
+
+    @property
+    def _rows_used(self) -> int:
+        return len(self._row_doc)
+
+    def _grow_rows(self, need: int) -> None:
+        capacity = self._dw_raw.size
+        if need <= capacity:
+            return
+        new_capacity = max(_MIN_CAPACITY, 2 * capacity, need)
+        for attr, dtype in (("_dw_raw", np.float64), ("_active", bool)):
+            fresh = np.zeros(new_capacity, dtype=dtype)
+            fresh[:capacity] = getattr(self, attr)
+            setattr(self, attr, fresh)
+
+    def _grow_cols(self, need: int) -> None:
+        capacity = self._mass_raw.size
+        if need <= capacity:
+            return
+        new_capacity = max(_MIN_CAPACITY, 2 * capacity, need)
+        for attr, dtype in (("_mass_raw", np.float64),
+                            ("_col_term", np.int64)):
+            fresh = np.zeros(new_capacity, dtype=dtype)
+            fresh[:capacity] = getattr(self, attr)
+            setattr(self, attr, fresh)
+
+    def _grow_term_index(self, need: int) -> None:
+        capacity = self._term_col.size
+        if need <= capacity:
+            return
+        new_capacity = max(_MIN_CAPACITY, 2 * capacity, need)
+        fresh = np.full(new_capacity, -1, dtype=np.int64)
+        fresh[:capacity] = self._term_col
+        self._term_col = fresh
+
+    def _lookup_cols(self, term_ids: np.ndarray) -> np.ndarray:
+        """Column index per term id; -1 where the term is unknown."""
+        capacity = self._term_col.size
+        if capacity == 0 or term_ids.size == 0:
+            return np.full(term_ids.shape, -1, dtype=np.int64)
+        in_range = (term_ids >= 0) & (term_ids < capacity)
+        if in_range.all():
+            return self._term_col[term_ids]
+        clipped = np.clip(term_ids, 0, capacity - 1)
+        return np.where(in_range, self._term_col[clipped], -1)
+
+    def _intern(self, term_ids: np.ndarray) -> np.ndarray:
+        """Column index per term id, allocating columns for new terms."""
+        if term_ids.size == 0:
+            return term_ids.astype(np.int64)
+        self._grow_term_index(int(term_ids.max()) + 1)
+        cols = self._term_col[term_ids]
+        missing = cols < 0
+        if missing.any():
+            # dedupe via a presence mask over the (dense) id space —
+            # cheaper than a sort/hash unique over every occurrence,
+            # and yields the same ascending id order
+            seen = np.zeros(self._term_col.size, dtype=bool)
+            seen[term_ids[missing]] = True
+            new_terms = np.flatnonzero(seen)
+            start = self._n_terms
+            self._grow_cols(start + new_terms.size)
+            self._term_col[new_terms] = np.arange(
+                start, start + new_terms.size, dtype=np.int64
+            )
+            self._col_term[start:start + new_terms.size] = new_terms
+            self._n_terms += new_terms.size
+            cols = self._term_col[term_ids]
+        return cols
+
+    def _reset_empty(self) -> None:
+        """Clear float residue so an emptied corpus is exactly empty."""
+        self.tdw = 0.0
+        self._doc_row.clear()
+        self._row_doc.clear()
+        self._dw_raw = np.zeros(0, dtype=np.float64)
+        self._active = np.zeros(0, dtype=bool)
+        self._dw_scale = 1.0
+        self._min_dw = math.inf
+        self._mass_raw = np.zeros(0, dtype=np.float64)
+        self._mass_scale = 1.0
+        self._n_terms = 0
+        self._col_term = np.zeros(0, dtype=np.int64)
+        self._term_col = np.zeros(0, dtype=np.int64)
+
+    def _maybe_compact_rows(self) -> None:
+        used = self._rows_used
+        if used < _MIN_CAPACITY or 2 * len(self._doc_row) >= used:
+            return
+        keep = np.flatnonzero(self._active[:used])
+        survivors = [self._row_doc[row] for row in keep.tolist()]
+        values = self._dw_raw[keep]
+        capacity = max(_MIN_CAPACITY, 2 * keep.size)
+        self._dw_raw = np.zeros(capacity, dtype=np.float64)
+        self._dw_raw[:keep.size] = values
+        self._active = np.zeros(capacity, dtype=bool)
+        self._active[:keep.size] = True
+        self._row_doc = survivors
+        self._doc_row = {
+            doc_id: row for row, doc_id in enumerate(survivors)
+        }
+
+    # -- mutations ---------------------------------------------------------
+
+    def decay(self, factor: float) -> None:
+        if factor == 1.0:
+            return
+        self.tdw *= factor
+        self._min_dw *= factor
+        used = self._rows_used
+        if self._dw_scale * factor < SCALE_FLOOR:
+            np.multiply(
+                self._dw_raw[:used], self._dw_scale * factor,
+                out=self._dw_raw[:used],
+            )
+            self._dw_scale = 1.0
+            if self.recorder.enabled:
+                self.recorder.counter("statistics.scale_folds")
+        else:
+            self._dw_scale *= factor
+        if self._mass_scale * factor < SCALE_FLOOR:
+            n = self._n_terms
+            np.multiply(
+                self._mass_raw[:n], self._mass_scale * factor,
+                out=self._mass_raw[:n],
+            )
+            self._mass_scale = 1.0
+            if self.recorder.enabled:
+                self.recorder.counter("statistics.scale_folds")
+        else:
+            self._mass_scale *= factor
+
+    def insert_batch(
+        self, entries: Sequence[Tuple[Document, float]]
+    ) -> None:
+        if not entries:
+            return
+        start = self._rows_used
+        n = len(entries)
+        self._grow_rows(start + n)
+        weights = np.fromiter(
+            (weight for _, weight in entries), dtype=np.float64, count=n
+        )
+        self._dw_raw[start:start + n] = weights / self._dw_scale
+        self._active[start:start + n] = True
+        doc_ids = [doc.doc_id for doc, _ in entries]
+        self._row_doc.extend(doc_ids)
+        self._doc_row.update(zip(doc_ids, range(start, start + n)))
+        # scalar adds in document order keep tdw bit-identical to the
+        # dict reference; min is exact, so the batch min is too
+        tdw = self.tdw
+        for weight in weights.tolist():
+            tdw += weight
+        self.tdw = tdw
+        lowest = float(weights.min())
+        if lowest < self._min_dw:
+            self._min_dw = lowest
+        lengths = np.fromiter(
+            (doc.length for doc, _ in entries), dtype=np.float64, count=n
+        )
+        has_terms = lengths > 0.0
+        if not has_terms.any():
+            return
+        if has_terms.all():
+            # weight / (scale * length) elementwise — the exact
+            # expression grouping of the dict reference, batched
+            inv_scales = weights / (self._mass_scale * lengths)
+            parts = [doc.term_arrays() for doc, _ in entries]
+        else:
+            keep = np.flatnonzero(has_terms)
+            inv_scales = weights[keep] / (self._mass_scale * lengths[keep])
+            parts = [entries[i][0].term_arrays() for i in keep.tolist()]
+        term_parts = [term_ids for term_ids, _ in parts]
+        lens = np.fromiter(
+            (term_ids.size for term_ids in term_parts),
+            dtype=np.int64, count=len(term_parts),
+        )
+        all_terms = np.concatenate(term_parts)
+        # count * inv_scale elementwise — the same product as the
+        # dict reference's per-term add, batched over the whole run
+        all_values = np.concatenate(
+            [counts for _, counts in parts]
+        ) * np.repeat(inv_scales, lens)
+        cols = self._intern(all_terms)
+        np.add.at(self._mass_raw, cols, all_values)
+
+    def remove(self, doc: Document) -> Tuple[float, bool]:
+        row = self._doc_row.pop(doc.doc_id)
+        weight = float(self._dw_raw[row]) * self._dw_scale
+        self._row_doc[row] = None
+        self._dw_raw[row] = 0.0
+        self._active[row] = False
+        self.tdw -= weight
+        clamped = False
+        if self.tdw < 0.0:
+            self.tdw = 0.0
+            clamped = True
+        if doc.length:
+            term_ids, counts = doc.term_arrays()
+            cols = self._lookup_cols(term_ids)
+            known = cols >= 0
+            if not known.all():
+                cols = cols[known]
+                counts = counts[known]
+            inv_scale = weight / (self._mass_scale * doc.length)
+            np.subtract.at(self._mass_raw, cols, counts * inv_scale)
+            # the dict reference deletes masses driven <= 0 by float
+            # residue; zeroing the column is the array equivalent
+            residues = self._mass_raw[cols]
+            negative = residues <= 0.0
+            if negative.any():
+                self._mass_raw[cols[negative]] = 0.0
+        if not self._doc_row:
+            self._reset_empty()
+        else:
+            self._maybe_compact_rows()
+        return weight, clamped
+
+    def remove_batch(self, docs: Sequence[Document]) -> bool:
+        """Reverse many documents in one pass; True if ``tdw`` clamped.
+
+        The expiry path removes whole cohorts at once, so the term-mass
+        reversal is batched into a single scatter-subtract instead of
+        one column lookup per document. ``tdw`` keeps the per-document
+        scalar subtraction order of :meth:`remove`.
+        """
+        if not docs:
+            return False
+        n = len(docs)
+        pop_row = self._doc_row.pop
+        rows = [pop_row(doc.doc_id) for doc in docs]
+        row_arr = np.asarray(rows, dtype=np.int64)
+        # raw * scale elementwise — the same product remove() computes
+        # per document, so weights match the one-at-a-time path exactly
+        weights = self._dw_raw[row_arr] * self._dw_scale
+        row_doc = self._row_doc
+        for row in rows:
+            row_doc[row] = None
+        self._dw_raw[row_arr] = 0.0
+        self._active[row_arr] = False
+        # scalar subtractions in document order keep tdw (and the
+        # clamp points) bit-identical to repeated remove() calls
+        clamped = False
+        tdw = self.tdw
+        for weight in weights.tolist():
+            tdw -= weight
+            if tdw < 0.0:
+                tdw = 0.0
+                clamped = True
+        self.tdw = tdw
+        lengths = np.fromiter(
+            (doc.length for doc in docs), dtype=np.float64, count=n
+        )
+        has_terms = lengths > 0.0
+        if has_terms.any():
+            if has_terms.all():
+                inv_scales = weights / (self._mass_scale * lengths)
+                parts = [doc.term_arrays() for doc in docs]
+            else:
+                keep = np.flatnonzero(has_terms)
+                inv_scales = (
+                    weights[keep] / (self._mass_scale * lengths[keep])
+                )
+                parts = [docs[i].term_arrays() for i in keep.tolist()]
+            term_parts = [term_ids for term_ids, _ in parts]
+            lens = np.fromiter(
+                (term_ids.size for term_ids in term_parts),
+                dtype=np.int64, count=len(term_parts),
+            )
+            all_terms = np.concatenate(term_parts)
+            all_values = np.concatenate(
+                [counts for _, counts in parts]
+            ) * np.repeat(inv_scales, lens)
+            cols = self._lookup_cols(all_terms)
+            known = cols >= 0
+            if not known.all():
+                cols = cols[known]
+                all_values = all_values[known]
+            np.subtract.at(self._mass_raw, cols, all_values)
+            residues = self._mass_raw[cols]
+            negative = residues <= 0.0
+            if negative.any():
+                self._mass_raw[cols[negative]] = 0.0
+        if not self._doc_row:
+            self._reset_empty()
+        else:
+            self._maybe_compact_rows()
+        return clamped
+
+    def expired_doc_ids(self, epsilon: float) -> List[str]:
+        used = self._rows_used
+        if used == 0:
+            return []
+        weights = self._dw_raw[:used] * self._dw_scale
+        mask = self._active[:used] & (
+            (weights == 0.0) | (weights < epsilon)
+        )
+        return [self._row_doc[row] for row in np.flatnonzero(mask).tolist()]
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self._doc_row)
+
+    def dw(self, doc_id: str) -> float:
+        row = self._doc_row[doc_id]
+        return float(self._dw_raw[row]) * self._dw_scale
+
+    def weights(self) -> Dict[str, float]:
+        scale = self._dw_scale
+        raw = self._dw_raw
+        return {
+            doc_id: float(raw[row]) * scale
+            for doc_id, row in self._doc_row.items()
+        }
+
+    @property
+    def min_weight_bound(self) -> float:
+        return self._min_dw
+
+    def term_mass(self, term_id: int) -> float:
+        cols = self._lookup_cols(np.asarray([term_id], dtype=np.int64))
+        col = int(cols[0])
+        if col < 0:
+            return 0.0
+        raw = float(self._mass_raw[col])
+        if raw <= 0.0:
+            return 0.0
+        return raw * self._mass_scale
+
+    def term_mass_array(self, term_ids: np.ndarray) -> np.ndarray:
+        if self._n_terms == 0:
+            return np.zeros(term_ids.shape, dtype=np.float64)
+        cols = self._lookup_cols(term_ids)
+        masses = np.where(cols >= 0, self._mass_raw[np.maximum(cols, 0)],
+                          0.0)
+        np.maximum(masses, 0.0, out=masses)
+        return masses * self._mass_scale
+
+    def term_ids(self) -> List[int]:
+        n = self._n_terms
+        positive = self._mass_raw[:n] > 0.0
+        return self._col_term[:n][positive].tolist()
+
+    def vocabulary_size(self) -> int:
+        n = self._n_terms
+        return int(np.count_nonzero(self._mass_raw[:n] > 0.0))
+
+    def clone(self) -> "ColumnarStatisticsBackend":
+        other = ColumnarStatisticsBackend()
+        other.recorder = self.recorder
+        other.tdw = self.tdw
+        other._doc_row = dict(self._doc_row)
+        other._row_doc = list(self._row_doc)
+        other._dw_raw = self._dw_raw.copy()
+        other._active = self._active.copy()
+        other._dw_scale = self._dw_scale
+        other._min_dw = self._min_dw
+        other._mass_raw = self._mass_raw.copy()
+        other._mass_scale = self._mass_scale
+        other._n_terms = self._n_terms
+        other._col_term = self._col_term.copy()
+        other._term_col = self._term_col.copy()
+        return other

@@ -51,18 +51,28 @@ class ForgettingModel:
                     f"life_span ({self.life_span}) must be >= "
                     f"half_life ({self.half_life})"
                 )
+        # both derived constants sit on the hot per-document path
+        # (weight() per insert, epsilon per expiry scan), so compute
+        # them once — the dataclass is frozen, hence the setattr
+        object.__setattr__(
+            self, "_decay_factor",
+            math.exp(-math.log(2.0) / self.half_life),
+        )
+        object.__setattr__(
+            self, "_epsilon",
+            0.0 if self.life_span is None
+            else self._decay_factor ** self.life_span,
+        )
 
     @property
     def decay_factor(self) -> float:
         """``λ = exp(-ln 2 / β)`` — per-day weight multiplier (Eq. 2)."""
-        return math.exp(-math.log(2.0) / self.half_life)
+        return self._decay_factor
 
     @property
     def epsilon(self) -> float:
         """Expiry threshold ``ε = λ^γ``; 0.0 when expiry is disabled."""
-        if self.life_span is None:
-            return 0.0
-        return self.decay_factor ** self.life_span
+        return self._epsilon
 
     def weight(self, acquired_at: float, now: float) -> float:
         """``dw = λ^(now - acquired_at)`` (Eq. 1). Requires ``now >= T``."""

@@ -18,17 +18,23 @@ Two update paths exist and must agree (a hypothesis test asserts this):
   which recomputes every statistic by a full pass — the paper's
   non-incremental baseline in Experiment 1.
 
-Implementation note: per-document weights are decayed eagerly (an O(m)
-multiply, exactly as the paper describes), but the *term* masses use a
-single global scale factor — multiplying one scalar replaces touching
-every vocabulary entry. The scale is folded back into the raw table
-when it threatens underflow.
+The *state* lives in a pluggable backend
+(:mod:`repro.forgetting.backends`): ``"dict"`` is the plain-Python
+reference (eager O(m) weight decay, lazily scaled term-mass dict) and
+``"columnar"`` keeps both weights and masses in numpy arrays so decay
+is two scalar multiplies and batch insert is one scatter-add. A second
+hypothesis suite interleaves every mutation on both backends and
+asserts they agree to 1e-9. This class owns everything backends do
+not: the clock, batch validation and atomicity, expiry policy, and
+observability.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
 
 from ..corpus.document import Document
 from ..exceptions import (
@@ -37,9 +43,8 @@ from ..exceptions import (
     UnknownDocumentError,
 )
 from ..obs import Recorder, Span, resolve
+from .backends import StatisticsBackend, resolve_backend
 from .model import ForgettingModel
-
-_SCALE_FLOOR = 1e-150
 
 
 class CorpusStatistics:
@@ -49,15 +54,18 @@ class CorpusStatistics:
         self,
         model: ForgettingModel,
         recorder: Optional[Recorder] = None,
+        backend: Union[str, StatisticsBackend] = "dict",
     ) -> None:
         self.model = model
-        self.recorder = resolve(recorder)
         self._now: Optional[float] = None
         self._docs: Dict[str, Document] = {}
-        self._dw: Dict[str, float] = {}
-        self._tdw = 0.0
-        self._term_mass_raw: Dict[int, float] = {}
-        self._term_scale = 1.0
+        if isinstance(backend, str):
+            self.backend_name = backend
+            self._backend = resolve_backend(backend)()
+        else:
+            self.backend_name = getattr(backend, "name", type(backend).__name__)
+            self._backend = backend
+        self.recorder = resolve(recorder)
 
     # -- construction ------------------------------------------------------
 
@@ -68,6 +76,7 @@ class CorpusStatistics:
         documents: Iterable[Document],
         at_time: float,
         recorder: Optional[Recorder] = None,
+        backend: Union[str, StatisticsBackend] = "dict",
     ) -> "CorpusStatistics":
         """Non-incremental rebuild: recompute every statistic in one pass.
 
@@ -75,14 +84,21 @@ class CorpusStatistics:
         incremental path. Documents whose weight at ``at_time`` falls
         below ``ε`` are excluded (expiry applied during the rebuild).
         """
-        stats = cls(model, recorder=recorder)
+        stats = cls(model, recorder=recorder, backend=backend)
         stats._now = float(at_time)
         with Span(stats.recorder, "statistics.rebuild") as span:
+            entries: List[Tuple[Document, float]] = []
             for doc in documents:
                 weight = model.weight(doc.timestamp, at_time)
                 if model.is_expired(weight):
                     continue
-                stats._insert(doc, weight)
+                if doc.doc_id in stats._docs:
+                    raise ConfigurationError(
+                        f"document {doc.doc_id!r} already tracked"
+                    )
+                stats._docs[doc.doc_id] = doc
+                entries.append((doc, weight))
+            stats._backend.insert_batch(entries)
             span.tags["docs"] = len(stats._docs)
         if stats.recorder.enabled:
             stats.recorder.counter(
@@ -93,14 +109,27 @@ class CorpusStatistics:
 
     def clone(self) -> "CorpusStatistics":
         """Deep copy (documents are shared; they are immutable)."""
-        other = CorpusStatistics(self.model, recorder=self.recorder)
+        other = CorpusStatistics(
+            self.model, recorder=self.recorder,
+            backend=self._backend.clone(),
+        )
+        other.backend_name = self.backend_name
         other._now = self._now
         other._docs = dict(self._docs)
-        other._dw = dict(self._dw)
-        other._tdw = self._tdw
-        other._term_mass_raw = dict(self._term_mass_raw)
-        other._term_scale = self._term_scale
         return other
+
+    # -- observability -----------------------------------------------------
+
+    @property
+    def recorder(self) -> Recorder:
+        return self._recorder
+
+    @recorder.setter
+    def recorder(self, value: Recorder) -> None:
+        # the backend shares the recorder so internal maintenance
+        # (scale folds) stays observable after set_recorder() swaps
+        self._recorder = value
+        self._backend.recorder = value
 
     # -- clock -------------------------------------------------------------
 
@@ -113,8 +142,8 @@ class CorpusStatistics:
         """Decay all statistics to ``time``; returns the multiplier λ^Δτ.
 
         Per Eq. 27-28 the decay is a single multiplication per document
-        weight and one for ``tdw``; term masses decay through the global
-        scale factor.
+        weight and one for ``tdw``; the columnar backend collapses both
+        into per-array scale factors.
         """
         if self._now is None:
             self._now = float(time)
@@ -126,30 +155,9 @@ class CorpusStatistics:
             )
         factor = self.model.decay_over(time - self._now)
         if factor != 1.0:
-            for doc_id in self._dw:
-                self._dw[doc_id] *= factor
-            self._tdw *= factor
-            if self._term_scale * factor < _SCALE_FLOOR:
-                # fold the old scale *and* this decay into the raw table
-                # before the scalar underflows to 0.0 (a huge time jump
-                # can do that in one step, which would poison every
-                # later insert with a division by zero)
-                self._fold_scale(extra_factor=factor)
-            else:
-                self._term_scale *= factor
+            self._backend.decay(factor)
         self._now = float(time)
         return factor
-
-    def _fold_scale(self, extra_factor: float = 1.0) -> None:
-        scale = self._term_scale * extra_factor
-        self._term_mass_raw = {
-            term_id: mass * scale
-            for term_id, mass in self._term_mass_raw.items()
-            if mass * scale > 0.0
-        }
-        self._term_scale = 1.0
-        if self.recorder.enabled:
-            self.recorder.counter("statistics.scale_folds")
 
     # -- insertion / removal ------------------------------------------------
 
@@ -176,8 +184,15 @@ class CorpusStatistics:
         with Span(self.recorder, "statistics.observe",
                   {"batch": len(batch)}):
             self.advance_to(at_time)
-            for doc in batch:
-                self._insert(doc, self.model.weight(doc.timestamp, at_time))
+            # λ^(τ-T) inline — the exact expression model.weight()
+            # evaluates, minus its now>=T guard, which _validate_batch
+            # has already enforced for the whole batch
+            decay = self.model.decay_factor
+            entries: List[Tuple[Document, float]] = [
+                (doc, decay ** (at_time - doc.timestamp)) for doc in batch
+            ]
+            self._docs.update((doc.doc_id, doc) for doc in batch)
+            self._backend.insert_batch(entries)
         if self.recorder.enabled:
             self.recorder.counter("statistics.docs_observed", len(batch))
             self._emit_level_gauges()
@@ -192,6 +207,19 @@ class CorpusStatistics:
                 f"cannot advance clock backwards: now={self._now}, "
                 f"requested {at_time}"
             )
+        if not batch:
+            return
+        # C-level screen first (max / set / isdisjoint); only walk the
+        # batch again when something is wrong, to name the offender
+        ids = [doc.doc_id for doc in batch]
+        unique_ids = set(ids)
+        clean = (
+            len(unique_ids) == len(ids)
+            and unique_ids.isdisjoint(self._docs.keys())
+            and max(doc.timestamp for doc in batch) <= at_time
+        )
+        if clean:
+            return
         seen: set = set()
         for doc in batch:
             if doc.timestamp > at_time:
@@ -212,25 +240,10 @@ class CorpusStatistics:
     def _emit_level_gauges(self) -> None:
         """Gauge snapshot after a state change (enabled recorders only)."""
         self.recorder.gauge("statistics.active_docs", len(self._docs))
-        self.recorder.gauge("statistics.tdw", self._tdw)
+        self.recorder.gauge("statistics.tdw", self._backend.tdw)
         self.recorder.gauge(
-            "statistics.vocabulary_size", len(self._term_mass_raw)
+            "statistics.vocabulary_size", self._backend.vocabulary_size()
         )
-
-    def _insert(self, doc: Document, weight: float) -> None:
-        if doc.doc_id in self._docs:
-            raise ConfigurationError(
-                f"document {doc.doc_id!r} already tracked"
-            )
-        self._docs[doc.doc_id] = doc
-        self._dw[doc.doc_id] = weight
-        self._tdw += weight
-        if doc.length:
-            inv_scale = weight / (self._term_scale * doc.length)
-            for term_id, count in doc.term_counts.items():
-                self._term_mass_raw[term_id] = (
-                    self._term_mass_raw.get(term_id, 0.0) + count * inv_scale
-                )
 
     def remove(self, doc_id: str) -> Document:
         """Remove one document, reversing its statistics contributions."""
@@ -240,26 +253,12 @@ class CorpusStatistics:
             raise UnknownDocumentError(
                 f"document {doc_id!r} not tracked"
             ) from None
-        weight = self._dw.pop(doc_id)
-        self._tdw -= weight
-        if self._tdw < 0.0:
-            self._tdw = 0.0
-        if doc.length:
-            inv_scale = weight / (self._term_scale * doc.length)
-            for term_id, count in doc.term_counts.items():
-                mass = self._term_mass_raw.get(term_id)
-                if mass is None:
-                    continue
-                mass -= count * inv_scale
-                if mass <= 0.0:
-                    del self._term_mass_raw[term_id]
-                else:
-                    self._term_mass_raw[term_id] = mass
-        if not self._docs:
-            # clear float residue so an emptied corpus is exactly empty
-            self._tdw = 0.0
-            self._term_mass_raw.clear()
-            self._term_scale = 1.0
+        _, tdw_clamped = self._backend.remove(doc)
+        if tdw_clamped and self.recorder.enabled:
+            # float residue drove tdw negative; the clamp keeps the
+            # probabilities well-defined but is worth counting — a
+            # hot loop of clamps would mean real drift
+            self.recorder.counter("statistics.tdw_clamped")
         return doc
 
     def expire(self) -> List[Document]:
@@ -269,13 +268,21 @@ class CorpusStatistics:
         dropped even when expiry is disabled (``life_span=None``):
         they carry no probability mass, and keeping them would let
         ``tdw`` reach 0.0 with documents still "active".
+
+        When expiry is disabled and no weight can have underflowed
+        (the backend's lower bound on active weights is still
+        positive), nothing can expire and the scan — plus its span and
+        counters — is skipped entirely.
         """
+        if (self.model.life_span is None
+                and self._backend.min_weight_bound > 0.0):
+            return []
         with Span(self.recorder, "statistics.expire"):
-            expired_ids = [
-                doc_id for doc_id, weight in self._dw.items()
-                if weight == 0.0 or self.model.is_expired(weight)
-            ]
-            expired = [self.remove(doc_id) for doc_id in expired_ids]
+            expired_ids = self._backend.expired_doc_ids(self.model.epsilon)
+            expired = [self._docs.pop(doc_id) for doc_id in expired_ids]
+            tdw_clamped = self._backend.remove_batch(expired)
+            if tdw_clamped and self.recorder.enabled:
+                self.recorder.counter("statistics.tdw_clamped")
         if self.recorder.enabled:
             self.recorder.counter("statistics.docs_expired", len(expired))
             self._emit_level_gauges()
@@ -310,12 +317,12 @@ class CorpusStatistics:
     @property
     def tdw(self) -> float:
         """Total document weight ``Σ dw_i`` (Eq. 3)."""
-        return self._tdw
+        return self._backend.tdw
 
     def dw(self, doc_id: str) -> float:
         """Weight ``dw_i`` of one document (Eq. 1)."""
         try:
-            return self._dw[doc_id]
+            return self._backend.dw(doc_id)
         except KeyError:
             raise UnknownDocumentError(
                 f"document {doc_id!r} not tracked"
@@ -323,18 +330,20 @@ class CorpusStatistics:
 
     def pr_document(self, doc_id: str) -> float:
         """Selection probability ``Pr(d_i) = dw_i / tdw`` (Eq. 4)."""
-        if self._tdw <= 0.0:
+        tdw = self._backend.tdw
+        if tdw <= 0.0:
             raise EmptyCorpusError("no document weight in the corpus")
-        return self.dw(doc_id) / self._tdw
+        return self.dw(doc_id) / tdw
 
     def pr_term(self, term_id: int) -> float:
         """Occurrence probability ``Pr(t_k)`` (Eq. 10); 0.0 if unseen."""
-        if self._tdw <= 0.0:
+        tdw = self._backend.tdw
+        if tdw <= 0.0:
             return 0.0
-        mass = self._term_mass_raw.get(term_id, 0.0)
+        mass = self._backend.term_mass(term_id)
         if mass <= 0.0:
             return 0.0
-        return min(1.0, mass * self._term_scale / self._tdw)
+        return min(1.0, mass / tdw)
 
     def idf(self, term_id: int) -> float:
         """Novelty idf ``1 / sqrt(Pr(t_k))`` (Eq. 14); 0.0 if unseen."""
@@ -343,18 +352,38 @@ class CorpusStatistics:
             return 0.0
         return 1.0 / math.sqrt(pr)
 
+    def idf_array(self, term_ids: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`idf` over an int64 term-id array.
+
+        Identical arithmetic to the scalar path (same operation order,
+        so the same floats), evaluated with three array expressions —
+        this is what the batched vectorisation path queries instead of
+        one Python call per term.
+        """
+        tdw = self._backend.tdw
+        if tdw <= 0.0 or term_ids.size == 0:
+            return np.zeros(term_ids.shape, dtype=np.float64)
+        masses = self._backend.term_mass_array(term_ids)
+        pr = np.where(
+            masses > 0.0, np.minimum(1.0, masses / tdw), 0.0
+        )
+        return np.where(
+            pr > 0.0, 1.0 / np.sqrt(np.where(pr > 0.0, pr, 1.0)), 0.0
+        )
+
     def term_ids(self) -> List[int]:
         """Ids of all terms with positive mass."""
-        return [tid for tid in self._term_mass_raw
+        return [tid for tid in self._backend.term_ids()
                 if self.pr_term(tid) > 0.0]
 
     def term_probabilities(self) -> Dict[int, float]:
         """``{term_id: Pr(t_k)}`` for all active terms."""
-        return {tid: self.pr_term(tid) for tid in self._term_mass_raw}
+        return {tid: self.pr_term(tid)
+                for tid in self._backend.term_ids()}
 
     def weights(self) -> Dict[str, float]:
         """``{doc_id: dw_i}`` snapshot."""
-        return dict(self._dw)
+        return self._backend.weights()
 
     def validate(self, rel_tol: float = 1e-6) -> None:
         """Self-check: stored aggregates match a from-scratch recompute.
@@ -362,23 +391,25 @@ class CorpusStatistics:
         Raises ``AssertionError`` on drift; used by tests and available
         to callers running very long streams.
         """
-        expected_tdw = sum(self._dw.values())
-        assert math.isclose(self._tdw, expected_tdw, rel_tol=rel_tol,
+        weights = self._backend.weights()
+        expected_tdw = sum(weights.values())
+        tdw = self._backend.tdw
+        assert math.isclose(tdw, expected_tdw, rel_tol=rel_tol,
                             abs_tol=1e-12), (
-            f"tdw drift: stored {self._tdw}, expected {expected_tdw}"
+            f"tdw drift: stored {tdw}, expected {expected_tdw}"
         )
         expected_mass: Dict[int, float] = {}
         for doc_id, doc in self._docs.items():
             if not doc.length:
                 continue
-            weight = self._dw[doc_id]
+            weight = weights[doc_id]
             for term_id, count in doc.term_counts.items():
                 expected_mass[term_id] = (
                     expected_mass.get(term_id, 0.0)
                     + weight * count / doc.length
                 )
         for term_id, expected in expected_mass.items():
-            stored = self._term_mass_raw.get(term_id, 0.0) * self._term_scale
+            stored = self._backend.term_mass(term_id)
             assert math.isclose(stored, expected, rel_tol=rel_tol,
                                 abs_tol=1e-12), (
                 f"term {term_id} mass drift: stored {stored}, "
@@ -387,6 +418,8 @@ class CorpusStatistics:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"CorpusStatistics(docs={len(self._docs)}, tdw={self._tdw:.4f}, "
-            f"terms={len(self._term_mass_raw)}, now={self._now})"
+            f"CorpusStatistics(docs={len(self._docs)}, "
+            f"tdw={self._backend.tdw:.4f}, "
+            f"terms={self._backend.vocabulary_size()}, "
+            f"now={self._now}, backend={self.backend_name!r})"
         )

@@ -12,7 +12,7 @@ Format: a single JSON document, versioned::
     {"format": "repro-checkpoint", "version": 1,
      "model": {"half_life": 7.0, "life_span": 14.0},
      "kmeans": {"k": 24, "delta": 0.01, ...},
-     "now": 42.0, "warm_start": true,
+     "now": 42.0, "warm_start": true, "statistics_backend": "dict",
      "documents": [{"doc_id": ..., "timestamp": ..., "topic_id": ...,
                     "source": ..., "title": ..., "terms": {"word": n}}],
      "assignment": {"doc_id": cluster_id, ...}}
@@ -72,6 +72,7 @@ def save_checkpoint(
             "rescue_outliers": kmeans.rescue_outliers,
         },
         "warm_start": clusterer.warm_start,
+        "statistics_backend": statistics.backend_name,
         "now": statistics.now,
         "documents": [
             {
@@ -96,12 +97,16 @@ def save_checkpoint(
 def load_checkpoint(
     path: PathLike,
     vocabulary: Optional[Vocabulary] = None,
+    statistics_backend: Optional[str] = None,
 ) -> Tuple[IncrementalClusterer, Vocabulary]:
     """Restore a clusterer (and its vocabulary) from ``path``.
 
     Pass the live ``vocabulary`` to re-intern terms into an existing
     repository's id space; with ``None`` a fresh vocabulary is grown.
-    Returns ``(clusterer, vocabulary)``.
+    ``statistics_backend`` overrides the backend recorded in the
+    checkpoint (statistics are rebuilt from the documents, so the two
+    storage layouts restore to equal state; pre-backend checkpoints
+    default to ``"dict"``). Returns ``(clusterer, vocabulary)``.
     """
     try:
         with open(path, "r", encoding="utf-8") as handle:
@@ -139,6 +144,11 @@ def load_checkpoint(
             max_iterations=kmeans_state["max_iterations"],
             seed=kmeans_state["seed"],
             engine=kmeans_state["engine"],
+            statistics_backend=(
+                statistics_backend
+                if statistics_backend is not None
+                else state.get("statistics_backend", "dict")
+            ),
             warm_start=state.get("warm_start", True),
             rescue_outliers=kmeans_state.get("rescue_outliers", True),
         )

@@ -11,7 +11,7 @@ pipeline that turns a document body into a term-frequency mapping:
 
 from .tokenizer import Tokenizer, tokenize
 from .stopwords import DEFAULT_STOPWORDS, is_stopword
-from .stemmer import PorterStemmer, stem
+from .stemmer import MemoizedStemmer, PorterStemmer, stem
 from .vocabulary import Vocabulary
 from .pipeline import TextPipeline
 
@@ -20,6 +20,7 @@ __all__ = [
     "tokenize",
     "DEFAULT_STOPWORDS",
     "is_stopword",
+    "MemoizedStemmer",
     "PorterStemmer",
     "stem",
     "Vocabulary",

@@ -8,11 +8,36 @@ pluggable so experiments can e.g. disable stemming.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Callable, Dict, FrozenSet, Iterable, List, Optional
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence
 
-from .stemmer import PorterStemmer
+from ..obs import Span, resolve
+from .stemmer import MemoizedStemmer
 from .stopwords import DEFAULT_STOPWORDS
 from .tokenizer import Tokenizer
+
+#: Shared default stemmer: one LRU memo across every pipeline that does
+#: not bring its own, so the cache warms once per process.
+_DEFAULT_STEMMER = MemoizedStemmer()
+
+#: Sentinel distinguishing "use the shared default" from "no stemming".
+_USE_DEFAULT = object()
+
+# -- process-pool plumbing ------------------------------------------------
+# Workers receive the pipeline once via the initializer instead of once
+# per chunk; ``executor.map`` preserves submission order, so the chunked
+# results concatenate back into input order.
+
+_WORKER_PIPELINE: Optional["TextPipeline"] = None
+
+
+def _init_worker(pipeline: "TextPipeline") -> None:
+    global _WORKER_PIPELINE
+    _WORKER_PIPELINE = pipeline
+
+
+def _process_chunk(texts: Sequence[str]) -> List[Dict[str, int]]:
+    assert _WORKER_PIPELINE is not None
+    return [_WORKER_PIPELINE.term_frequencies(text) for text in texts]
 
 
 class TextPipeline:
@@ -26,8 +51,9 @@ class TextPipeline:
         Set of surface forms removed *before* stemming. Pass an empty
         set to keep everything.
     stemmer:
-        Callable mapping token -> stem. Pass ``None`` to disable
-        stemming.
+        Callable mapping token -> stem; defaults to a process-wide
+        shared :class:`~repro.text.stemmer.MemoizedStemmer`. Pass
+        ``None`` to disable stemming.
     max_ngram:
         Emit word n-grams up to this length in addition to unigrams
         (n-grams join stems with ``_``; they are built over contiguous
@@ -44,14 +70,14 @@ class TextPipeline:
         self,
         tokenizer: Optional[Tokenizer] = None,
         stopwords: Optional[FrozenSet[str]] = None,
-        stemmer: Optional[Callable[[str], str]] = PorterStemmer(),
+        stemmer: Optional[Callable[[str], str]] = _USE_DEFAULT,  # type: ignore[assignment]
         max_ngram: int = 1,
     ) -> None:
         if not isinstance(max_ngram, int) or max_ngram < 1:
             raise ValueError(f"max_ngram must be an int >= 1, got {max_ngram!r}")
         self.tokenizer = tokenizer if tokenizer is not None else Tokenizer()
         self.stopwords = DEFAULT_STOPWORDS if stopwords is None else stopwords
-        self.stemmer = stemmer
+        self.stemmer = _DEFAULT_STEMMER if stemmer is _USE_DEFAULT else stemmer
         self.max_ngram = max_ngram
 
     def terms(self, text: str) -> List[str]:
@@ -80,6 +106,56 @@ class TextPipeline:
         """Return ``{term: count}`` for ``text`` after all stages."""
         return dict(Counter(self.terms(text)))
 
-    def batch_term_frequencies(self, texts: Iterable[str]) -> List[Dict[str, int]]:
-        """Vector of :meth:`term_frequencies` over an iterable of texts."""
-        return [self.term_frequencies(text) for text in texts]
+    def batch_term_frequencies(
+        self,
+        texts: Iterable[str],
+        jobs: Optional[int] = None,
+        chunk_size: int = 256,
+    ) -> List[Dict[str, int]]:
+        """Vector of :meth:`term_frequencies` over an iterable of texts.
+
+        With ``jobs`` > 1 the texts are processed in ``chunk_size``
+        chunks by a process pool; results come back in input order.
+        ``jobs`` of ``None``, 0 or 1 (or a batch too small to amortise
+        pool start-up) runs serially, and any pool failure (e.g. an
+        unpicklable custom stage) falls back to the serial path, so the
+        parallel call is always safe to make. The timing span and
+        stemmer-cache gauges go to the ambient obs recorder.
+        """
+        text_list = list(texts)
+        recorder = resolve(None)
+        with Span(recorder, "text.batch_terms",
+                  {"texts": len(text_list), "jobs": jobs or 1}):
+            if jobs is None or jobs <= 1 or len(text_list) <= chunk_size:
+                result = [self.term_frequencies(text) for text in text_list]
+            else:
+                result = self._batch_parallel(text_list, jobs, chunk_size)
+            cache_info = getattr(self.stemmer, "cache_info", None)
+            if callable(cache_info) and recorder.enabled:
+                info = cache_info()
+                recorder.gauge("text.stemmer_cache.hits", info["hits"])
+                recorder.gauge("text.stemmer_cache.misses", info["misses"])
+                recorder.gauge("text.stemmer_cache.size", info["currsize"])
+        return result
+
+    def _batch_parallel(
+        self, texts: List[str], jobs: int, chunk_size: int
+    ) -> List[Dict[str, int]]:
+        from concurrent.futures import ProcessPoolExecutor
+
+        chunks = [
+            texts[start:start + chunk_size]
+            for start in range(0, len(texts), chunk_size)
+        ]
+        try:
+            with ProcessPoolExecutor(
+                max_workers=jobs,
+                initializer=_init_worker,
+                initargs=(self,),
+            ) as pool:
+                chunk_results = list(pool.map(_process_chunk, chunks))
+        except Exception:
+            # unpicklable stage, missing multiprocessing support, ... —
+            # parallelism is an optimisation, never a requirement
+            return [self.term_frequencies(text) for text in texts]
+        return [freqs for chunk in chunk_results for freqs in chunk]

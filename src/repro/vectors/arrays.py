@@ -1,0 +1,103 @@
+"""CSR-backed weighted-vector batches.
+
+:class:`WeightedVectorArrays` is the array twin of the
+``{doc_id: SparseVector}`` mapping produced by
+:meth:`~repro.vectors.tfidf.NoveltyTfidfWeighter.weighted_vectors`:
+one flat ``(indptr, term_ids, data)`` CSR layout over the whole batch
+instead of one dict per document. Engines that declare
+``accepts_arrays = True`` consume the flat arrays directly (no
+per-term Python loop between vectorisation and the engine's matrix
+build); everything else still works, because the class is a read-only
+``Mapping[str, SparseVector]`` that materialises individual rows
+lazily — the K-means split/rescue paths touch only a handful of rows,
+so almost no dicts are ever built.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+try:
+    from collections.abc import Mapping
+except ImportError:  # pragma: no cover - py2 relic guard
+    from collections import Mapping  # type: ignore[attr-defined]
+
+import numpy as np
+
+from .sparse import SparseVector
+
+
+class WeightedVectorArrays(Mapping):
+    """Batch of weighted document vectors in one CSR layout.
+
+    Parameters
+    ----------
+    doc_ids:
+        Row order — ``doc_ids[i]`` owns ``term_ids[indptr[i]:indptr[i+1]]``
+        and the matching ``data`` slice.
+    indptr:
+        int64 array of ``len(doc_ids) + 1`` row boundaries.
+    term_ids:
+        int64 vocabulary term ids per stored component (unsorted within
+        a row; engines re-map them to dense columns themselves).
+    data:
+        float64 component values (never 0.0 — zero components are
+        dropped at construction, matching ``SparseVector`` semantics).
+    """
+
+    __slots__ = ("doc_ids", "indptr", "term_ids", "data", "_index",
+                 "_row_cache")
+
+    def __init__(
+        self,
+        doc_ids: Sequence[str],
+        indptr: np.ndarray,
+        term_ids: np.ndarray,
+        data: np.ndarray,
+    ) -> None:
+        self.doc_ids: List[str] = list(doc_ids)
+        self.indptr = indptr
+        self.term_ids = term_ids
+        self.data = data
+        self._index: Dict[str, int] = {
+            doc_id: row for row, doc_id in enumerate(self.doc_ids)
+        }
+        self._row_cache: Dict[str, SparseVector] = {}
+
+    # -- Mapping protocol ------------------------------------------------
+
+    def __getitem__(self, doc_id: str) -> SparseVector:
+        vector = self._row_cache.get(doc_id)
+        if vector is None:
+            row = self._index[doc_id]
+            lo = int(self.indptr[row])
+            hi = int(self.indptr[row + 1])
+            vector = SparseVector._trusted(dict(zip(
+                self.term_ids[lo:hi].tolist(),
+                self.data[lo:hi].tolist(),
+            )))
+            self._row_cache[doc_id] = vector
+        return vector
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.doc_ids)
+
+    def __len__(self) -> int:
+        return len(self.doc_ids)
+
+    def __contains__(self, doc_id: object) -> bool:
+        return doc_id in self._index
+
+    # -- array access ----------------------------------------------------
+
+    def csr_parts(
+        self,
+    ) -> Tuple[List[str], np.ndarray, np.ndarray, np.ndarray]:
+        """``(doc_ids, indptr, term_ids, data)`` — the engine fast path."""
+        return self.doc_ids, self.indptr, self.term_ids, self.data
+
+    def empty_doc_ids(self) -> List[str]:
+        """Ids of documents with zero stored components."""
+        lengths = np.diff(self.indptr)
+        return [self.doc_ids[row]
+                for row in np.flatnonzero(lengths == 0).tolist()]

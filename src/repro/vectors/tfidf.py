@@ -24,8 +24,11 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List
 
+import numpy as np
+
 from ..corpus.document import Document
 from ..forgetting.statistics import CorpusStatistics
+from .arrays import WeightedVectorArrays
 from .sparse import SparseVector
 
 
@@ -94,6 +97,12 @@ class NoveltyTfidfWeighter:
             terms.update(doc.term_counts)
         for term_id in terms.difference(idf_cache):
             idf_cache[term_id] = statistics_idf(term_id)
+        # a component can only be 0.0 when its idf is 0.0 (a positive
+        # idf is >= 1, and the positive per-document scale cannot
+        # multiply it down to zero), so one check over the batch's
+        # unique terms decides whether any per-document zero filtering
+        # is needed at all
+        has_zero_idf = any(idf_cache[term_id] == 0.0 for term_id in terms)
         out: Dict[str, SparseVector] = {}
         for doc in documents:
             length = doc.length
@@ -108,10 +117,63 @@ class NoveltyTfidfWeighter:
                 term_id: count * idf_cache[term_id] * scale
                 for term_id, count in doc.term_counts.items()
             }
-            if 0.0 in data.values():  # pathological underflow only
+            if has_zero_idf and 0.0 in data.values():
                 data = {t: v for t, v in data.items() if v != 0.0}
             out[doc.doc_id] = SparseVector._trusted(data)
         return out
+
+    def weighted_arrays(
+        self, documents: Iterable[Document]
+    ) -> WeightedVectorArrays:
+        """``w⃗_i`` for many documents as one CSR batch.
+
+        The array twin of :meth:`weighted_vectors`: identical values
+        (the same floating-point operation order per component), but
+        built with a handful of numpy expressions over the batch's
+        concatenated term runs instead of one dict per document, and
+        returned as a :class:`WeightedVectorArrays` whose flat rows
+        array-aware engines consume directly.
+        """
+        documents = list(documents)
+        n = len(documents)
+        pr_document = self._statistics.pr_document
+        doc_ids = [doc.doc_id for doc in documents]
+        lens = np.zeros(n, dtype=np.int64)
+        scales = np.zeros(n, dtype=np.float64)
+        id_parts: List[np.ndarray] = []
+        count_parts: List[np.ndarray] = []
+        for row, doc in enumerate(documents):
+            length = doc.length
+            if length == 0:
+                continue
+            scale = pr_document(doc.doc_id) / length
+            if scale == 0.0:
+                continue
+            term_ids, counts = doc.term_arrays()
+            scales[row] = scale
+            lens[row] = term_ids.size
+            id_parts.append(term_ids)
+            count_parts.append(counts)
+        if id_parts:
+            terms = np.concatenate(id_parts)
+            counts = np.concatenate(count_parts)
+        else:
+            terms = np.zeros(0, dtype=np.int64)
+            counts = np.zeros(0, dtype=np.float64)
+        unique_terms, inverse = np.unique(terms, return_inverse=True)
+        idf_unique = self._statistics.idf_array(unique_terms)
+        data = counts * idf_unique[inverse] * np.repeat(scales, lens)
+        if idf_unique.size and (idf_unique == 0.0).any():
+            # same pathological-underflow filter as the dict path:
+            # only terms the statistics no longer carry produce zeros
+            keep = data != 0.0
+            terms = terms[keep]
+            data = data[keep]
+            rows = np.repeat(np.arange(n, dtype=np.int64), lens)[keep]
+            lens = np.bincount(rows, minlength=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(lens, out=indptr[1:])
+        return WeightedVectorArrays(doc_ids, indptr, terms, data)
 
     def representative(
         self,

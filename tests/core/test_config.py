@@ -49,7 +49,8 @@ class TestClustererConfig:
     def test_pipeline_switches_stay_out_of_config(self):
         names = {f.name for f in dataclasses.fields(ClustererConfig)}
         assert names == {
-            "k", "delta", "max_iterations", "seed", "engine", "recorder"
+            "k", "delta", "max_iterations", "seed", "engine",
+            "statistics_backend", "recorder",
         }
 
     def test_k_is_required(self, model):

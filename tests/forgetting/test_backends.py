@@ -1,0 +1,235 @@
+"""Statistics-backend registry and dict/columnar equivalence.
+
+The columnar backend stores the same Eq. 27-29 state as the dict
+reference in flat numpy arrays. These tests pin the registry surface
+and — the load-bearing property — that the two layouts stay
+numerically interchangeable under arbitrary interleavings of
+observe/advance/expire/remove.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CorpusStatistics, ForgettingModel
+from repro.exceptions import ConfigurationError
+from repro.forgetting.backends import (
+    ColumnarStatisticsBackend,
+    DictStatisticsBackend,
+    available_backends,
+    register_backend,
+    resolve_backend,
+    unregister_backend,
+)
+from tests.conftest import make_document
+
+BACKENDS = ("dict", "columnar")
+
+
+@pytest.fixture
+def model():
+    return ForgettingModel(half_life=7.0, life_span=14.0)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert set(BACKENDS) <= set(available_backends())
+
+    def test_resolve_returns_factories(self):
+        assert resolve_backend("dict") is DictStatisticsBackend
+        assert resolve_backend("columnar") is ColumnarStatisticsBackend
+
+    def test_unknown_name_lists_alternatives(self):
+        with pytest.raises(ConfigurationError, match="columnar"):
+            resolve_backend("no-such-backend")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_backend("dict", DictStatisticsBackend)
+
+    def test_register_unregister_roundtrip(self):
+        register_backend("test-tmp", DictStatisticsBackend)
+        try:
+            assert "test-tmp" in available_backends()
+        finally:
+            unregister_backend("test-tmp")
+        assert "test-tmp" not in available_backends()
+
+    def test_statistics_accepts_instance(self, model):
+        stats = CorpusStatistics(model, backend=ColumnarStatisticsBackend())
+        assert stats.backend_name == "columnar"
+
+
+# -- property: dict and columnar agree under any interleaving -----------
+
+#: One step of the interleaving. ``observe`` carries a batch of 1-3
+#: small documents, ``advance`` a forward time delta, ``remove`` an
+#: index into the currently active documents (modulo size).
+_STEPS = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("observe"),
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=7),  # term seed
+                    st.integers(min_value=1, max_value=4),  # count
+                ),
+                min_size=1,
+                max_size=3,
+            ),
+        ),
+        st.tuples(
+            st.just("advance"),
+            st.floats(min_value=0.1, max_value=20.0,
+                      allow_nan=False, allow_infinity=False),
+        ),
+        st.tuples(st.just("expire"), st.none()),
+        st.tuples(st.just("remove"), st.integers(min_value=0, max_value=99)),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+def _run_program(steps, backend, life_span):
+    model = ForgettingModel(half_life=7.0, life_span=life_span)
+    stats = CorpusStatistics(model, backend=backend)
+    clock = 0.0
+    next_id = 0
+    for action, payload in steps:
+        if action == "observe":
+            batch = []
+            for term_seed, count in payload:
+                batch.append(
+                    make_document(
+                        f"d{next_id}", clock,
+                        {term_seed: count, (term_seed + 3) % 11: 1},
+                    )
+                )
+                next_id += 1
+            stats.observe(batch, at_time=clock)
+        elif action == "advance":
+            clock += payload
+            stats.advance_to(clock)
+        elif action == "expire":
+            stats.expire()
+        elif action == "remove":
+            ids = stats.doc_ids()
+            if ids:
+                stats.remove(ids[payload % len(ids)])
+    return stats
+
+
+def _assert_parity(a, b):
+    assert a.size == b.size
+    assert a.doc_ids() == b.doc_ids()
+    assert math.isclose(a.tdw, b.tdw, rel_tol=1e-9, abs_tol=1e-12)
+    for doc_id in a.doc_ids():
+        assert math.isclose(
+            a.dw(doc_id), b.dw(doc_id), rel_tol=1e-9, abs_tol=1e-12
+        )
+    # float residues of removal can differ by ulps between layouts
+    # (dict deletes masses <= 0, columnar zeroes the column), so term
+    # id sets are compared only where probability mass is material
+    terms_a = {t for t in a.term_ids() if a.pr_term(t) > 1e-12}
+    terms_b = {t for t in b.term_ids() if b.pr_term(t) > 1e-12}
+    assert terms_a == terms_b
+    for term_id in set(a.term_ids()) | set(b.term_ids()):
+        assert math.isclose(
+            a.pr_term(term_id), b.pr_term(term_id),
+            rel_tol=1e-9, abs_tol=1e-12,
+        )
+
+
+class TestDictColumnarParity:
+    @settings(max_examples=120, deadline=None)
+    @given(steps=_STEPS)
+    def test_interleaving_parity_with_lifespan(self, steps):
+        a = _run_program(steps, "dict", life_span=14.0)
+        b = _run_program(steps, "columnar", life_span=14.0)
+        _assert_parity(a, b)
+
+    @settings(max_examples=60, deadline=None)
+    @given(steps=_STEPS)
+    def test_interleaving_parity_without_lifespan(self, steps):
+        a = _run_program(steps, "dict", life_span=None)
+        b = _run_program(steps, "columnar", life_span=None)
+        _assert_parity(a, b)
+
+    @settings(max_examples=40, deadline=None)
+    @given(steps=_STEPS)
+    def test_columnar_survives_its_own_validate(self, steps):
+        stats = _run_program(steps, "columnar", life_span=14.0)
+        stats.validate()
+
+    def test_clone_is_independent(self, model):
+        stats = CorpusStatistics(model, backend="columnar")
+        stats.observe([make_document("d0", 0.0, {0: 2, 1: 1})], 0.0)
+        fork = stats.clone()
+        assert fork.backend_name == "columnar"
+        fork.observe([make_document("d1", 1.0, {2: 3})], 1.0)
+        assert stats.size == 1 and fork.size == 2
+        stats.validate()
+        fork.validate()
+
+
+class TestExpireFastPath:
+    def test_no_lifespan_expire_skips_counters(self):
+        """Satellite: expire() with no life span must not emit events."""
+        from repro.obs import InMemoryRecorder
+
+        model = ForgettingModel(half_life=7.0, life_span=None)
+        for backend in BACKENDS:
+            recorder = InMemoryRecorder()
+            stats = CorpusStatistics(model, recorder=recorder,
+                                     backend=backend)
+            stats.observe([make_document("d0", 0.0, {0: 1})], 0.0)
+            stats.advance_to(50.0)
+            assert stats.expire() == []
+            assert "statistics.docs_expired" not in recorder.counters()
+
+    def test_no_lifespan_underflow_still_expires(self):
+        """The fast path must stand aside once a weight hits 0.0."""
+        model = ForgettingModel(half_life=7.0, life_span=None)
+        for backend in BACKENDS:
+            stats = CorpusStatistics(model, backend=backend)
+            stats.observe([make_document("d0", 0.0, {0: 1})], 0.0)
+            # 2^-(t/7) underflows past the smallest subnormal
+            stats.advance_to(7.0 * 1100.0)
+            expired = stats.expire()
+            assert [d.doc_id for d in expired] == ["d0"]
+            assert stats.size == 0
+
+
+class TestRemoveClampCounter:
+    def test_clamp_emits_counter(self):
+        """Satellite: tdw clamped to 0.0 on remove must be observable."""
+        from repro.obs import InMemoryRecorder
+
+        model = ForgettingModel(half_life=7.0, life_span=None)
+        for backend in BACKENDS:
+            recorder = InMemoryRecorder()
+            stats = CorpusStatistics(model, recorder=recorder,
+                                     backend=backend)
+            stats.observe([make_document("d0", 0.0, {0: 1})], 0.0)
+            # force a negative residue: the backend's running tdw is
+            # nudged below the stored weight before removal
+            stats._backend.tdw = stats._backend.tdw * (1.0 - 1e-12) - 1e-9
+            stats.remove("d0")
+            assert recorder.counters().get("statistics.tdw_clamped") == 1.0
+            assert stats.tdw == 0.0
+
+    def test_clean_remove_emits_no_clamp(self):
+        from repro.obs import InMemoryRecorder
+
+        model = ForgettingModel(half_life=7.0, life_span=None)
+        for backend in BACKENDS:
+            recorder = InMemoryRecorder()
+            stats = CorpusStatistics(model, recorder=recorder,
+                                     backend=backend)
+            stats.observe([make_document("d0", 0.0, {0: 1}),
+                           make_document("d1", 0.0, {1: 1})], 0.0)
+            stats.remove("d0")
+            assert "statistics.tdw_clamped" not in recorder.counters()

@@ -281,7 +281,7 @@ class TestClone:
     def test_validate_catches_corruption(self, model):
         stats = CorpusStatistics(model)
         stats.observe(doc_batch("d", 0, 3, 0.0), at_time=0.0)
-        stats._tdw *= 1.5  # simulate drift
+        stats._backend.tdw *= 1.5  # simulate drift
         with pytest.raises(AssertionError):
             stats.validate()
 

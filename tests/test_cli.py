@@ -264,3 +264,94 @@ class TestParser:
         with pytest.raises(SystemExit) as excinfo:
             main([])
         assert excinfo.value.code == 2
+
+
+class TestStatsBackendFlag:
+    def test_backend_flag_round_trips_checkpoint(self, stream_file,
+                                                 tmp_path, capsys):
+        import json
+
+        state = tmp_path / "state.json"
+        code = main([
+            "cluster", "--input", str(stream_file),
+            "--k", "4", "--batch-days", "2", "--quiet",
+            "--stats-backend", "columnar", "--checkpoint", str(state),
+        ])
+        assert code == 0
+        assert json.load(open(state))["statistics_backend"] == "columnar"
+
+        code = main([
+            "cluster", "--input", str(stream_file),
+            "--resume", str(state), "--quiet",
+        ])
+        assert code == 0
+
+    def test_backend_override_on_resume(self, stream_file, tmp_path,
+                                        capsys):
+        state = tmp_path / "state.json"
+        main([
+            "cluster", "--input", str(stream_file),
+            "--k", "4", "--batch-days", "2", "--quiet",
+            "--checkpoint", str(state),
+        ])
+        code = main([
+            "cluster", "--input", str(stream_file),
+            "--resume", str(state), "--stats-backend", "columnar",
+            "--quiet",
+        ])
+        assert code == 0
+
+    def test_backends_give_identical_reports(self, stream_file, capsys):
+        main([
+            "cluster", "--input", str(stream_file),
+            "--k", "4", "--batch-days", "2", "--seed", "7",
+        ])
+        dict_out = capsys.readouterr().out
+        main([
+            "cluster", "--input", str(stream_file),
+            "--k", "4", "--batch-days", "2", "--seed", "7",
+            "--stats-backend", "columnar",
+        ])
+        columnar_out = capsys.readouterr().out
+        assert columnar_out == dict_out
+
+    def test_unknown_backend_rejected(self, stream_file, capsys):
+        with pytest.raises(SystemExit):
+            main([
+                "cluster", "--input", str(stream_file),
+                "--stats-backend", "nope",
+            ])
+
+
+class TestJobsFlag:
+    def test_jobs_flag_accepted_on_terms_input(self, stream_file, capsys):
+        code = main([
+            "cluster", "--input", str(stream_file),
+            "--k", "4", "--batch-days", "2", "--jobs", "2", "--quiet",
+        ])
+        assert code == 0
+
+    def test_raw_text_records_cluster_end_to_end(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "raw.jsonl"
+        topics = [
+            "asian markets fell sharply stocks tumbled",
+            "election campaign votes polls candidate",
+            "storm rainfall flooding rivers weather",
+        ]
+        with open(path, "w") as handle:
+            for i in range(30):
+                handle.write(json.dumps({
+                    "doc_id": f"r{i}",
+                    "timestamp": float(i % 5),
+                    "text": topics[i % 3] + f" filler{i % 3}",
+                }) + "\n")
+        for jobs in ("1", "2"):
+            code = main([
+                "cluster", "--input", str(path),
+                "--k", "3", "--batch-days", "2",
+                "--jobs", jobs, "--quiet",
+            ])
+            assert code == 0
+            assert "final clusters:" in capsys.readouterr().out

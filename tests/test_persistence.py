@@ -183,3 +183,52 @@ class TestFreshClustererCheckpoint:
         path.write_text(json.dumps(state))
         with pytest.raises(CheckpointError, match="criterion"):
             load_checkpoint(path, stream.vocabulary)
+
+
+class TestStatisticsBackendField:
+    def test_backend_name_round_trips(self, stream, tmp_path):
+        model = ForgettingModel(half_life=4.0, life_span=8.0)
+        clusterer = IncrementalClusterer(
+            model, k=3, seed=1, statistics_backend="columnar"
+        )
+        run_stream(clusterer, stream, days=6)
+        path = tmp_path / "state.json"
+        save_checkpoint(clusterer, stream.vocabulary, path)
+        assert json.load(open(path))["statistics_backend"] == "columnar"
+
+        restored, _ = load_checkpoint(path, stream.vocabulary)
+        assert restored.statistics.backend_name == "columnar"
+        assert math.isclose(
+            restored.statistics.tdw, clusterer.statistics.tdw,
+            rel_tol=1e-12,
+        )
+
+    def test_load_override_swaps_backend(self, stream, tmp_path):
+        model = ForgettingModel(half_life=4.0, life_span=8.0)
+        clusterer = IncrementalClusterer(model, k=3, seed=1)
+        run_stream(clusterer, stream, days=6)
+        path = tmp_path / "state.json"
+        save_checkpoint(clusterer, stream.vocabulary, path)
+
+        restored, _ = load_checkpoint(
+            path, stream.vocabulary, statistics_backend="columnar"
+        )
+        assert restored.statistics.backend_name == "columnar"
+        assert math.isclose(
+            restored.statistics.tdw, clusterer.statistics.tdw,
+            rel_tol=1e-12,
+        )
+
+    def test_pre_backend_checkpoint_defaults_to_dict(self, stream,
+                                                     tmp_path):
+        model = ForgettingModel(half_life=4.0, life_span=8.0)
+        clusterer = IncrementalClusterer(model, k=3, seed=1)
+        run_stream(clusterer, stream, days=6)
+        path = tmp_path / "state.json"
+        save_checkpoint(clusterer, stream.vocabulary, path)
+        state = json.load(open(path))
+        del state["statistics_backend"]  # checkpoints written before PR 3
+        json.dump(state, open(path, "w"))
+
+        restored, _ = load_checkpoint(path, stream.vocabulary)
+        assert restored.statistics.backend_name == "dict"

@@ -102,3 +102,71 @@ class TestPipelineProperties:
     def test_all_counts_positive(self, text):
         for count in TextPipeline().term_frequencies(text).values():
             assert count >= 1
+
+
+class TestBatchTermFrequencies:
+    TEXTS = [
+        "Asian markets fell sharply in early trading.",
+        "The central bank held interest rates steady.",
+        "Stocks rallied; traders cheered the rally.",
+        "",
+        "Bank of England lending rates rose again today.",
+    ] * 30
+
+    def test_serial_matches_per_text_calls(self):
+        pipeline = TextPipeline()
+        assert pipeline.batch_term_frequencies(self.TEXTS) == [
+            pipeline.term_frequencies(text) for text in self.TEXTS
+        ]
+
+    def test_parallel_matches_serial(self):
+        pipeline = TextPipeline()
+        serial = pipeline.batch_term_frequencies(self.TEXTS)
+        parallel = pipeline.batch_term_frequencies(
+            self.TEXTS, jobs=2, chunk_size=16
+        )
+        assert parallel == serial
+
+    def test_jobs_one_and_zero_stay_serial(self):
+        pipeline = TextPipeline()
+        expected = pipeline.batch_term_frequencies(self.TEXTS[:5])
+        assert pipeline.batch_term_frequencies(self.TEXTS[:5], jobs=1) \
+            == expected
+        assert pipeline.batch_term_frequencies(self.TEXTS[:5], jobs=0) \
+            == expected
+
+    def test_unpicklable_stage_falls_back_to_serial(self):
+        stems = {}
+        pipeline = TextPipeline(stemmer=lambda w: stems.setdefault(w, w))
+        result = pipeline.batch_term_frequencies(
+            self.TEXTS, jobs=2, chunk_size=16
+        )
+        assert result == [
+            pipeline.term_frequencies(text) for text in self.TEXTS
+        ]
+
+    def test_emits_span_and_cache_gauges(self):
+        from repro.obs import InMemoryRecorder, use_recorder
+
+        pipeline = TextPipeline()
+        recorder = InMemoryRecorder()
+        with use_recorder(recorder):
+            pipeline.batch_term_frequencies(self.TEXTS[:5])
+        names = {event.name for event in recorder.events}
+        assert "text.batch_terms" in names
+        assert "text.stemmer_cache.hits" in names
+        assert "text.stemmer_cache.misses" in names
+
+    def test_default_stemmer_is_shared_memo(self):
+        from repro.text.stemmer import MemoizedStemmer
+
+        first = TextPipeline()
+        second = TextPipeline()
+        assert isinstance(first.stemmer, MemoizedStemmer)
+        assert first.stemmer is second.stemmer
+
+    def test_stemmer_none_still_disables_stemming(self):
+        pipeline = TextPipeline(stemmer=None)
+        assert pipeline.term_frequencies("markets rallied") == {
+            "markets": 1, "rallied": 1,
+        }

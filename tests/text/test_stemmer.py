@@ -168,3 +168,84 @@ class TestStemmerProperties:
     @given(st.sampled_from([w for w, _ in KNOWN_PAIRS]))
     def test_same_word_same_stem_across_instances(self, word):
         assert PorterStemmer().stem(word) == PorterStemmer().stem(word)
+
+
+class TestMemoizedStemmer:
+    def test_same_stems_as_wrapped(self):
+        from repro.text.stemmer import MemoizedStemmer
+
+        memo = MemoizedStemmer()
+        porter = PorterStemmer()
+        for word in ("relational", "conflated", "caresses", "sky", "ab"):
+            assert memo(word) == porter(word)
+
+    def test_hit_miss_accounting(self):
+        from repro.text.stemmer import MemoizedStemmer
+
+        memo = MemoizedStemmer()
+        memo("running")
+        memo("running")
+        memo("jumping")
+        info = memo.cache_info()
+        assert info["hits"] == 1
+        assert info["misses"] == 2
+        assert info["currsize"] == 2
+
+    def test_lru_eviction_bounds_cache(self):
+        from repro.text.stemmer import MemoizedStemmer
+
+        memo = MemoizedStemmer(maxsize=3)
+        for word in ("alpha", "bravo", "charlie", "delta"):
+            memo(word)
+        info = memo.cache_info()
+        assert info["currsize"] == 3
+        memo("alpha")  # evicted (least recent) -> a fresh miss
+        assert memo.cache_info()["misses"] == 5
+
+    def test_recently_used_survives_eviction(self):
+        from repro.text.stemmer import MemoizedStemmer
+
+        memo = MemoizedStemmer(maxsize=2)
+        memo("alpha")
+        memo("bravo")
+        memo("alpha")  # refresh alpha
+        memo("charlie")  # evicts bravo, not alpha
+        hits_before = memo.cache_info()["hits"]
+        memo("alpha")
+        assert memo.cache_info()["hits"] == hits_before + 1
+
+    def test_cache_clear_resets(self):
+        from repro.text.stemmer import MemoizedStemmer
+
+        memo = MemoizedStemmer()
+        memo("running")
+        memo.cache_clear()
+        info = memo.cache_info()
+        assert info == {"hits": 0, "misses": 0,
+                        "maxsize": 1 << 16, "currsize": 0}
+
+    def test_invalid_maxsize_rejected(self):
+        from repro.text.stemmer import MemoizedStemmer
+
+        with pytest.raises(ValueError, match="maxsize"):
+            MemoizedStemmer(maxsize=0)
+
+    def test_picklable(self):
+        import pickle
+
+        from repro.text.stemmer import MemoizedStemmer
+
+        memo = MemoizedStemmer()
+        memo("running")
+        clone = pickle.loads(pickle.dumps(memo))
+        assert clone("running") == memo("running")
+
+    @given(st.text(alphabet=st.characters(min_codepoint=97,
+                                          max_codepoint=122),
+                   min_size=1, max_size=12))
+    def test_memo_never_changes_the_answer(self, word):
+        from repro.text.stemmer import MemoizedStemmer
+
+        memo = MemoizedStemmer(maxsize=8)
+        uncached = PorterStemmer(cache=False)
+        assert memo(word) == uncached(word) == memo(word)

@@ -1,0 +1,104 @@
+"""Batched vectorisation: the CSR path must match the dict path exactly.
+
+``weighted_arrays`` exists purely as a faster construction of the same
+Eq. 12-16 weights, so every assertion here is bit-level equality with
+``weighted_vectors``, not toleranced closeness.
+"""
+
+import numpy as np
+import pytest
+
+from repro import CorpusStatistics, ForgettingModel, NoveltyTfidfWeighter
+from repro.vectors.arrays import WeightedVectorArrays
+from tests.conftest import make_document
+
+
+def _corpus(backend="dict"):
+    model = ForgettingModel(half_life=7.0, life_span=30.0)
+    docs = [
+        make_document(f"d{i}", float(i % 5),
+                      {(i + j) % 13: 1 + (i * j) % 4 for j in range(1 + i % 6)})
+        for i in range(40)
+    ]
+    stats = CorpusStatistics(model, backend=backend)
+    stats.observe(docs, at_time=5.0)
+    return stats, docs
+
+
+@pytest.mark.parametrize("backend", ["dict", "columnar"])
+class TestWeightedArraysEquivalence:
+    def test_rows_bitwise_equal_to_dict_path(self, backend):
+        stats, docs = _corpus(backend)
+        weighter = NoveltyTfidfWeighter(stats)
+        reference = weighter.weighted_vectors(docs)
+        arrays = weighter.weighted_arrays(docs)
+        assert list(arrays) == list(reference)
+        for doc_id in reference:
+            assert dict(arrays[doc_id]) == dict(reference[doc_id])
+
+    def test_mapping_protocol(self, backend):
+        stats, docs = _corpus(backend)
+        arrays = NoveltyTfidfWeighter(stats).weighted_arrays(docs)
+        assert isinstance(arrays, WeightedVectorArrays)
+        assert len(arrays) == len(docs)
+        assert docs[0].doc_id in arrays
+        doc_ids, indptr, term_ids, data = arrays.csr_parts()
+        assert len(indptr) == len(docs) + 1
+        assert indptr[-1] == len(term_ids) == len(data)
+
+    def test_empty_doc_ids_matches_rows(self, backend):
+        stats, docs = _corpus(backend)
+        docs = docs + [make_document("empty", 5.0, {})]
+        stats.observe([docs[-1]], at_time=5.0)
+        arrays = NoveltyTfidfWeighter(stats).weighted_arrays(docs)
+        assert arrays.empty_doc_ids() == ["empty"]
+        assert len(arrays["empty"]) == 0
+
+
+class TestZeroIdfFilter:
+    """Satellite: terms whose mass underflowed weight to 0.0 — drop them.
+
+    A component is 0.0 exactly when its term's idf is 0.0, which in a
+    live system happens when scale-factor decay underflows a term mass
+    to zero while a document still carrying the term survives. The
+    tests force that state directly in the backend.
+    """
+
+    @staticmethod
+    def _zero_out_term(stats, term_id):
+        backend = stats._backend
+        if hasattr(backend, "_term_mass_raw"):  # dict backend
+            backend._term_mass_raw[term_id] = 0.0
+        else:  # columnar: zero the interned column
+            col = int(backend._lookup_cols(
+                np.asarray([term_id], dtype=np.int64))[0])
+            backend._mass_raw[col] = 0.0
+        assert stats.pr_term(term_id) == 0.0
+
+    def test_underflowed_term_component_dropped_dict_path(self):
+        stats, docs = _corpus()
+        dead_term = next(iter(docs[0].term_counts))
+        self._zero_out_term(stats, dead_term)
+        vectors = NoveltyTfidfWeighter(stats).weighted_vectors(docs)
+        vector = vectors[docs[0].doc_id]
+        assert dead_term not in vector
+        assert 0.0 not in vector.values()
+        assert len(vector) == len(docs[0].term_counts) - 1
+
+    def test_underflowed_term_component_dropped_array_path(self):
+        stats, docs = _corpus()
+        dead_term = next(iter(docs[0].term_counts))
+        self._zero_out_term(stats, dead_term)
+        arrays = NoveltyTfidfWeighter(stats).weighted_arrays(docs)
+        vector = arrays[docs[0].doc_id]
+        assert dead_term not in vector
+        assert 0.0 not in vector.values()
+        _, _, _, data = arrays.csr_parts()
+        assert not (np.asarray(data) == 0.0).any()
+
+    def test_clean_corpus_keeps_all_components(self):
+        stats, docs = _corpus()
+        weighter = NoveltyTfidfWeighter(stats)
+        vectors = weighter.weighted_vectors(docs)
+        for doc in docs:
+            assert len(vectors[doc.doc_id]) == len(doc.term_counts)
