@@ -1,0 +1,10 @@
+"""Make the ``tools/`` directory importable so tests can use reprolint."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_TOOLS_DIR = Path(__file__).resolve().parents[2] / "tools"
+if str(_TOOLS_DIR) not in sys.path:
+    sys.path.insert(0, str(_TOOLS_DIR))

@@ -1,0 +1,231 @@
+"""Fixture-file suite for reprolint.
+
+Each rule gets (a) a minimal violating snippet that must fire, (b) the
+allowlisted pattern that must stay quiet, and (c) a suppression-comment
+check. The snippets are linted in-memory via :func:`lint_source` with a
+crafted ``path`` argument, because every rule scopes itself by path.
+"""
+
+from __future__ import annotations
+
+from reprolint import lint_source
+
+CORE_PATH = "src/repro/core/example.py"
+FORGETTING_PATH = "src/repro/forgetting/example.py"
+ENGINES_PATH = "src/repro/core/engines/example.py"
+BACKENDS_PATH = "src/repro/forgetting/backends/example.py"
+NEUTRAL_PATH = "src/repro/eval/example.py"
+TEST_PATH = "tests/core/test_example.py"
+
+
+def codes(path, source):
+    return [violation.code for violation in lint_source(path, source)]
+
+
+# -- REP001: no wall-clock in the numerics --------------------------------
+
+def test_rep001_fires_on_time_time_in_core():
+    assert "REP001" in codes(CORE_PATH, "import time\nt = time.time()\n")
+
+
+def test_rep001_fires_on_aliased_datetime_now():
+    source = "from datetime import datetime as dt\nstamp = dt.now()\n"
+    assert "REP001" in codes(FORGETTING_PATH, source)
+
+
+def test_rep001_fires_on_from_import_of_time():
+    source = "from time import time\nt = time()\n"
+    assert "REP001" in codes(CORE_PATH, source)
+
+
+def test_rep001_allows_perf_counter():
+    # duration timers measure elapsed seconds, not positions on τ
+    source = "import time\nt0 = time.perf_counter()\n"
+    assert codes(CORE_PATH, source) == []
+
+
+def test_rep001_ignores_wall_clock_outside_numeric_packages():
+    assert codes("src/repro/obs/sinks.py", "import time\nt = time.time()\n") == []
+
+
+def test_rep001_suppression_comment():
+    source = "import time\nt = time.time()  # reprolint: disable=REP001\n"
+    assert codes(CORE_PATH, source) == []
+
+
+# -- REP002: no float-literal equality ------------------------------------
+
+def test_rep002_fires_on_float_equality():
+    assert "REP002" in codes(NEUTRAL_PATH, "ok = x == 0.3\n")
+
+
+def test_rep002_fires_on_not_equal_and_negative_literal():
+    assert "REP002" in codes(NEUTRAL_PATH, "ok = x != -2.5\n")
+
+
+def test_rep002_allows_zero_sentinel():
+    # the structural invariant of vectors/sparse.py: zeros are dropped
+    assert codes("src/repro/vectors/sparse.py", "ok = value == 0.0\n") == []
+
+
+def test_rep002_allows_decay_noop_in_forgetting_layer():
+    source = "skip = factor == 1.0\n"
+    assert codes("src/repro/forgetting/backends/dict_backend.py", source) == []
+
+
+def test_rep002_fires_on_one_outside_decay_allowlist():
+    assert "REP002" in codes(NEUTRAL_PATH, "ok = x == 1.0\n")
+
+
+def test_rep002_exempts_test_code():
+    # parity suites assert exact bit-equality between engines on purpose
+    assert codes(TEST_PATH, "assert a == 0.125\n") == []
+
+
+def test_rep002_suppression_comment():
+    source = "ok = x == 0.3  # reprolint: disable=REP002\n"
+    assert codes(NEUTRAL_PATH, source) == []
+
+
+# -- REP003: registry-only construction -----------------------------------
+
+def test_rep003_fires_on_direct_engine_instantiation():
+    source = (
+        "from repro.core.engines.dense import DenseEngine\n"
+        "engine = DenseEngine(3, {})\n"
+    )
+    assert "REP003" in codes(CORE_PATH, source)
+
+
+def test_rep003_fires_on_direct_backend_instantiation():
+    source = "backend = ColumnarStatisticsBackend()\n"
+    assert "REP003" in codes(NEUTRAL_PATH, source)
+
+
+def test_rep003_allows_resolve_calls():
+    source = (
+        "from repro.core.engines import resolve_engine\n"
+        "engine = resolve_engine('dense', 3, {})\n"
+    )
+    assert codes(CORE_PATH, source) == []
+
+
+def test_rep003_allows_home_package_and_tests():
+    source = "engine = DenseEngine(3, {})\n"
+    assert codes(ENGINES_PATH, source) == []
+    assert codes(BACKENDS_PATH, "b = DictStatisticsBackend()\n") == []
+    assert codes(TEST_PATH, source) == []
+
+
+def test_rep003_suppression_comment():
+    source = "engine = DenseEngine(3, {})  # reprolint: disable=REP003\n"
+    assert codes(CORE_PATH, source) == []
+
+
+# -- REP004: pipeline entry points open spans -----------------------------
+
+SPANLESS_ENTRY = (
+    "class IncrementalClusterer:\n"
+    "    def process_batch(self, docs):\n"
+    "        return docs\n"
+    "class NonIncrementalClusterer:\n"
+    "    def process_batch(self, docs):\n"
+    "        with Span(recorder, 'cluster'):\n"
+    "            return docs\n"
+)
+
+
+def test_rep004_fires_on_spanless_entry_point():
+    violations = lint_source("src/repro/core/incremental.py", SPANLESS_ENTRY)
+    rep004 = [v for v in violations if v.code == "REP004"]
+    assert len(rep004) == 1
+    assert "IncrementalClusterer.process_batch" in rep004[0].message
+
+
+def test_rep004_fires_when_entry_point_disappears():
+    source = "class IncrementalClusterer:\n    pass\n"
+    violations = lint_source("src/repro/core/incremental.py", source)
+    assert any(
+        v.code == "REP004" and "not found" in v.message for v in violations
+    )
+
+
+def test_rep004_accepts_recorder_span_method():
+    source = (
+        "class TextPipeline:\n"
+        "    def batch_term_frequencies(self, texts):\n"
+        "        with resolve(None).span('text.batch_terms'):\n"
+        "            return [self.term_frequencies(t) for t in texts]\n"
+    )
+    violations = lint_source("src/repro/text/pipeline.py", source)
+    assert [v for v in violations if v.code == "REP004"] == []
+
+
+def test_rep004_ignores_unlisted_files():
+    assert codes(NEUTRAL_PATH, "def process_batch():\n    pass\n") == []
+
+
+def test_rep004_file_suppression_comment():
+    source = "# reprolint: disable-file=REP004\n" + SPANLESS_ENTRY
+    violations = lint_source("src/repro/core/incremental.py", source)
+    assert [v for v in violations if v.code == "REP004"] == []
+
+
+# -- REP005: CorpusStatistics encapsulation -------------------------------
+
+def test_rep005_fires_on_private_attribute_write():
+    assert "REP005" in codes(NEUTRAL_PATH, "stats._now = 4.0\n")
+
+
+def test_rep005_fires_on_private_mapping_mutation():
+    source = "clusterer.statistics._docs.update({'d': 1})\n"
+    assert "REP005" in codes(NEUTRAL_PATH, source)
+
+
+def test_rep005_fires_on_subscript_and_del():
+    assert "REP005" in codes(NEUTRAL_PATH, "statistics._docs['d'] = doc\n")
+    assert "REP005" in codes(NEUTRAL_PATH, "del statistics._docs['d']\n")
+
+
+def test_rep005_allows_public_api_and_reads():
+    source = (
+        "stats.observe(batch, at_time=now)\n"
+        "count = len(stats._docs)\n"
+        "stats.recorder = recorder\n"
+    )
+    assert codes(NEUTRAL_PATH, source) == []
+
+
+def test_rep005_allows_forgetting_package_and_tests():
+    source = "self._now = 4.0\nstats._now = 4.0\n"
+    assert codes(FORGETTING_PATH, source) == []
+    assert codes(TEST_PATH, source) == []
+
+
+def test_rep005_suppression_comment():
+    source = "stats._now = 4.0  # reprolint: disable=REP005\n"
+    assert codes(NEUTRAL_PATH, source) == []
+
+
+# -- engine mechanics ------------------------------------------------------
+
+def test_syntax_error_reports_rep000():
+    violations = lint_source(NEUTRAL_PATH, "def broken(:\n")
+    assert [v.code for v in violations] == ["REP000"]
+
+
+def test_disable_all_suppresses_everything():
+    source = "# reprolint: disable-file=all\nimport time\nt = time.time()\n"
+    assert codes(CORE_PATH, source) == []
+
+
+def test_marker_inside_string_is_inert():
+    source = 's = "# reprolint: disable=REP001"\nimport time\nt = time.time()\n'
+    assert "REP001" in codes(CORE_PATH, source)
+
+
+def test_violation_render_format():
+    violations = lint_source(CORE_PATH, "import time\nt = time.time()\n")
+    rendered = violations[0].render()
+    assert rendered.startswith(f"{CORE_PATH}:2:")
+    assert "REP001" in rendered

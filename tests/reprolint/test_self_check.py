@@ -1,0 +1,71 @@
+"""The gate itself: the real tree must be reprolint-clean.
+
+This mirrors the CI job (``python -m reprolint src tests``) so a
+violation fails locally before it fails in CI, and exercises the CLI
+surface (exit codes, ``--select``, ``--list-rules``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from reprolint import ALL_RULES, lint_paths
+from reprolint.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_repository_is_reprolint_clean():
+    violations = lint_paths(
+        [str(REPO_ROOT / "src"), str(REPO_ROOT / "tests")]
+    )
+    assert violations == [], "\n".join(v.render() for v in violations)
+
+
+def test_cli_exit_zero_on_clean_tree(capsys):
+    assert main([str(REPO_ROOT / "src" / "repro" / "obs")]) == 0
+    assert capsys.readouterr().out == ""
+
+
+def test_cli_exit_one_on_violation(tmp_path, capsys):
+    bad = tmp_path / "src" / "repro" / "core" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("import time\nt = time.time()\n")
+    assert main([str(tmp_path)]) == 1
+    captured = capsys.readouterr()
+    assert "REP001" in captured.out
+    assert "1 violation" in captured.err
+
+
+def test_cli_select_limits_rules(tmp_path, capsys):
+    bad = tmp_path / "src" / "repro" / "core" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("import time\nt = time.time()\nok = x == 0.3\n")
+    assert main(["--select", "REP002", str(tmp_path)]) == 1
+    captured = capsys.readouterr()
+    assert "REP002" in captured.out
+    assert "REP001" not in captured.out
+
+
+def test_cli_rejects_unknown_rule_code(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["--select", "REP999", str(tmp_path)])
+
+
+def test_cli_list_rules_prints_rationales(capsys):
+    assert main(["--list-rules"]) == 0
+    output = capsys.readouterr().out
+    for rule in ALL_RULES:
+        assert rule.code in output
+    assert "Eq. 1" in output  # rationales cite the paper
+
+
+def test_every_rule_has_metadata():
+    codes = [rule.code for rule in ALL_RULES]
+    assert codes == sorted(codes) and len(set(codes)) == len(codes)
+    for rule in ALL_RULES:
+        assert rule.code.startswith("REP")
+        assert rule.name
+        assert len(rule.rationale) > 80, rule.code

@@ -1,0 +1,205 @@
+"""Linting engine: file walking, suppression comments, rule dispatch.
+
+The engine is deliberately small: it parses each file once, extracts
+``# reprolint:`` suppression comments from the token stream (so strings
+that merely *contain* the marker never suppress anything), hands one
+:class:`FileContext` to every rule, and filters the returned
+:class:`Violation` objects against the suppressions.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+#: Directories never linted, wherever they appear in a walked tree.
+SKIP_DIRS = frozenset({
+    "__pycache__", ".git", ".hypothesis", ".pytest_cache",
+    "build", "dist",
+})
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*(?P<scope>disable|disable-file)\s*=\s*"
+    r"(?P<codes>all|REP\d{3}(?:\s*,\s*REP\d{3})*)"
+)
+
+#: Matches every rule code when a suppression says ``all``.
+_ALL = "all"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: where it is, which rule fired, and why."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to know about one file."""
+
+    path: str
+    tree: ast.Module
+    source: str
+    line_suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+    file_suppressions: Set[str] = field(default_factory=set)
+
+    def in_path(self, fragment: str) -> bool:
+        """True when ``fragment`` matches a directory-aligned part of the
+        file's path (``"repro/core"`` matches ``src/repro/core/kmeans.py``
+        but not ``src/repro/corelib.py``)."""
+        haystack = "/" + self.path.strip("/") + "/"
+        needle = "/" + fragment.strip("/") + "/"
+        return needle in haystack or haystack.endswith(
+            "/" + fragment.strip("/")
+        )
+
+    @property
+    def is_test_code(self) -> bool:
+        """Test suites and benchmarks: exempt from the packaging rules."""
+        return (
+            self.in_path("tests")
+            or self.in_path("benchmarks")
+            or Path(self.path).name.startswith("conftest")
+        )
+
+    def suppressed(self, violation: Violation) -> bool:
+        if violation.code in self.file_suppressions or _ALL in self.file_suppressions:
+            return True
+        codes = self.line_suppressions.get(violation.line)
+        return codes is not None and (violation.code in codes or _ALL in codes)
+
+
+def _collect_suppressions(
+    source: str,
+) -> "tuple[Dict[int, Set[str]], Set[str]]":
+    """Parse ``# reprolint: disable[-file]=...`` comments from the
+    token stream, so the marker inside a string literal is inert."""
+    per_line: Dict[int, Set[str]] = {}
+    whole_file: Set[str] = set()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if match is None:
+                continue
+            raw = match.group("codes")
+            codes = (
+                {_ALL} if raw == _ALL
+                else {code.strip() for code in raw.split(",")}
+            )
+            if match.group("scope") == "disable-file":
+                whole_file.update(codes)
+            else:
+                per_line.setdefault(token.start[0], set()).update(codes)
+    except tokenize.TokenError:
+        # a file the tokenizer rejects will also fail ast.parse, and
+        # the caller reports that as a violation already
+        pass
+    return per_line, whole_file
+
+
+def make_context(path: str, source: str) -> FileContext:
+    """Parse ``source`` into a rule-ready context (raises SyntaxError)."""
+    tree = ast.parse(source, filename=path)
+    per_line, whole_file = _collect_suppressions(source)
+    return FileContext(
+        path=path,
+        tree=tree,
+        source=source,
+        line_suppressions=per_line,
+        file_suppressions=whole_file,
+    )
+
+
+def lint_source(
+    path: str,
+    source: str,
+    rules: Optional[Sequence["Rule"]] = None,
+) -> List[Violation]:
+    """Lint one in-memory file; the unit the fixture tests drive."""
+    from .rules import ALL_RULES
+
+    active = list(ALL_RULES if rules is None else rules)
+    try:
+        context = make_context(path, source)
+    except SyntaxError as exc:
+        return [Violation(
+            path=path,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            code="REP000",
+            message=f"file does not parse: {exc.msg}",
+        )]
+    violations = [
+        violation
+        for rule in active
+        for violation in rule.check(context)
+        if not context.suppressed(violation)
+    ]
+    violations.sort(key=lambda v: (v.line, v.col, v.code))
+    return violations
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
+    """Yield every ``.py`` file under ``paths`` in sorted order."""
+    for raw in paths:
+        root = Path(raw)
+        if root.is_file():
+            if root.suffix == ".py":
+                yield root
+            continue
+        for candidate in sorted(root.rglob("*.py")):
+            if any(part in SKIP_DIRS or part.endswith(".egg-info")
+                   for part in candidate.parts):
+                continue
+            yield candidate
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rules: Optional[Sequence["Rule"]] = None,
+) -> List[Violation]:
+    """Lint every python file under ``paths``; the CLI's core."""
+    violations: List[Violation] = []
+    for file_path in iter_python_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        violations.extend(lint_source(file_path.as_posix(), source, rules))
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return violations
+
+
+class Rule:
+    """Base class: subclasses set the metadata and implement check()."""
+
+    code: str = "REP000"
+    name: str = ""
+    rationale: str = ""
+
+    def check(self, context: FileContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(
+        self, context: FileContext, node: ast.AST, message: str
+    ) -> Violation:
+        return Violation(
+            path=context.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=self.code,
+            message=message,
+        )
