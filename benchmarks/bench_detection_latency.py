@@ -11,8 +11,6 @@ front of the stream — at the F1 cost Table 4 documents.
 
 from __future__ import annotations
 
-import pytest
-
 from repro import (
     DetectionRecorder,
     ForgettingModel,

@@ -15,8 +15,6 @@ Plus the paper's topic-detection narrative for these probes at β=7 vs
 
 from __future__ import annotations
 
-import pytest
-
 from repro.experiments import render_histogram, topic_histogram
 from repro.experiments.experiment2 import run_window
 

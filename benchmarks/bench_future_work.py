@@ -14,8 +14,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro import (
     ForgettingModel,
     IncrementalClusterer,

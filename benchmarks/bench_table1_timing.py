@@ -14,7 +14,7 @@ from __future__ import annotations
 import pytest
 
 from repro import CorpusStatistics, ForgettingModel
-from repro.corpus.synthetic import SyntheticCorpusConfig, TDT2Generator
+from repro.corpus.synthetic import TDT2Generator
 from repro.experiments import ExperimentOneConfig, run_experiment1
 
 

@@ -21,7 +21,6 @@ import pytest
 
 from repro.experiments import ExperimentTwoConfig, run_experiment2
 from repro.experiments.experiment2 import PAPER_TABLE4, run_window
-from repro.eval import evaluate_clustering
 
 
 @pytest.fixture(scope="module")

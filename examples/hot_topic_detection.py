@@ -17,7 +17,6 @@ import argparse
 from repro import (
     SyntheticCorpusConfig,
     TDT2Generator,
-    evaluate_clustering,
     split_into_windows,
 )
 from repro.experiments import render_histogram, topic_histogram

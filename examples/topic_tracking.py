@@ -19,7 +19,6 @@ from repro import (
     SyntheticCorpusConfig,
     TDT2Generator,
     TopicTracker,
-    label_clustering,
 )
 
 

@@ -18,7 +18,7 @@ an already-chosen seed.
 from __future__ import annotations
 
 import time as time_module
-from typing import Dict, List, Optional, Sequence
+from typing import List, Sequence
 
 from .._validation import require_positive_int, require_probability
 from ..corpus.document import Document

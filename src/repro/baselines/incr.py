@@ -18,9 +18,8 @@ scrolled out of the window can no longer absorb documents.
 
 from __future__ import annotations
 
-import math
 import time as time_module
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from .._validation import require_positive, require_positive_int
 from ..corpus.document import Document

@@ -20,7 +20,7 @@ and the *what-if-appended* value (Eq. 26) is one sparse dot product.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Dict, List
 
 from ..exceptions import UnknownDocumentError
 from ..vectors.sparse import SparseVector

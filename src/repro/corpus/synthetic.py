@@ -34,7 +34,6 @@ from .._validation import (
     require_non_negative,
 )
 from ..exceptions import ConfigurationError
-from .document import Document
 from .repository import DocumentRepository
 
 # --------------------------------------------------------------------------

@@ -30,7 +30,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional, Set
 
-from .events import COUNTER, GAUGE, SPAN, Event
+from .events import COUNTER, GAUGE, Event
 from .timing import Span
 
 

@@ -1,7 +1,5 @@
 """Tests for cluster novelty / hot-topic ranking."""
 
-import math
-
 import pytest
 
 from repro import (

@@ -1,7 +1,5 @@
 """Tests for the external clustering measures (purity, NMI, ARI, ...)."""
 
-import math
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,7 +1,5 @@
 """Integration tests: raw text -> pipeline -> clustering -> evaluation."""
 
-import pytest
-
 from repro import (
     DocumentRepository,
     ForgettingModel,

@@ -5,8 +5,6 @@ tests; the full-scale numbers live in the benchmark harness.
 
 import random
 
-import pytest
-
 from repro import (
     CorpusStatistics,
     DocumentRepository,

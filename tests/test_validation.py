@@ -1,7 +1,5 @@
 """Tests for the shared validation helpers and the exception hierarchy."""
 
-import math
-
 import pytest
 
 from repro import (

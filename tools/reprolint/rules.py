@@ -10,7 +10,7 @@ hatch (``# reprolint: disable=REPnnn``) for the rare justified use.
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .engine import FileContext, Rule, Violation
 
