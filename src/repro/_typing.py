@@ -1,0 +1,21 @@
+"""Shared array type aliases.
+
+Every numerical surface in the package uses float64 (the parity suites
+assert bit-equality between engines, which only holds in one dtype) and
+integer id/index arrays. Centralising the aliases keeps annotations
+short and makes the dtype contract greppable.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+import numpy.typing as npt
+
+#: Weights, similarities, statistics: always float64.
+FloatArray = npt.NDArray[np.float64]
+
+#: Term ids, row indices, CSR indptr: any signed integer dtype (np.intp
+#: from nonzero()/argsort() and explicit int64 columns both satisfy it).
+IntArray = npt.NDArray[np.signedinteger[Any]]

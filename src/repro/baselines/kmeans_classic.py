@@ -12,14 +12,15 @@ from __future__ import annotations
 import math
 import random
 import time as time_module
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .._typing import FloatArray, IntArray
 from .._validation import require_positive_int
+from ..core.result import ClusteringResult
 from ..corpus.document import Document
 from ..exceptions import ClusteringError
-from ..core.result import ClusteringResult
 
 
 class ClassicKMeans:
@@ -92,7 +93,9 @@ class ClassicKMeans:
             timings={"clustering": elapsed},
         )
 
-    def _vectorize(self, docs: Sequence[Document]):
+    def _vectorize(
+        self, docs: Sequence[Document]
+    ) -> Tuple[FloatArray, Dict[int, int]]:
         """Unit-normalised tf·idf matrix, smooth idf = 1 + ln(n/df)."""
         df: Dict[int, int] = {}
         for doc in docs:
@@ -111,10 +114,10 @@ class ClassicKMeans:
 
     def _recompute_centroids(
         self,
-        matrix: np.ndarray,
-        labels: np.ndarray,
-        previous: np.ndarray,
-    ) -> np.ndarray:
+        matrix: FloatArray,
+        labels: IntArray,
+        previous: FloatArray,
+    ) -> FloatArray:
         """Mean of member vectors, renormalised; empty keep their spot."""
         centroids = previous.copy()
         for cluster_id in range(self.k):

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from . import __version__
 from .corpus.loaders import load_jsonl, save_jsonl
@@ -36,6 +36,11 @@ from .forgetting.backends import available_backends
 from .forgetting.model import ForgettingModel
 from .persistence import load_checkpoint, save_checkpoint
 from .text.vocabulary import Vocabulary
+
+if TYPE_CHECKING:
+    from .core.result import ClusteringResult
+    from .corpus.document import Document
+    from .obs import Recorder
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -147,7 +152,9 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return _run_cluster(args, None)
 
 
-def _run_cluster(args: argparse.Namespace, recorder) -> int:
+def _run_cluster(
+    args: argparse.Namespace, recorder: Optional["Recorder"]
+) -> int:
     vocabulary = Vocabulary()
     if args.resume:
         # like --engine, the statistics backend only changes *how* the
@@ -202,7 +209,11 @@ def _run_cluster(args: argparse.Namespace, recorder) -> int:
     documents = [d for d in documents if d.timestamp >= already]
 
     if documents:
-        def report(at_time, batch, batch_result):
+        def report(
+            at_time: float,
+            batch: List["Document"],
+            batch_result: "ClusteringResult",
+        ) -> None:
             if not args.quiet:
                 print(f"t={at_time:8.1f}  +{len(batch):5d} docs  "
                       f"{batch_result.summary()}")
@@ -219,9 +230,13 @@ def _run_cluster(args: argparse.Namespace, recorder) -> int:
         # resumed past the whole stream: re-cluster the carried state
         print("no new documents beyond the checkpoint; re-clustering "
               "the carried state")
-        result = clusterer.process_batch(
-            [], at_time=clusterer.statistics.now
-        )
+        at_time = clusterer.statistics.now
+        if at_time is None:
+            # a fresh (never-fed) clusterer has no clock to re-cluster
+            # at; previously this leaked ``None`` into process_batch
+            print("no batches processed", file=sys.stderr)
+            return 1
+        result = clusterer.process_batch([], at_time=at_time)
 
     if result is None:
         print("no batches processed", file=sys.stderr)

@@ -96,20 +96,20 @@ def resolve_clusterer_config(
     explicit keywords. ``keyword_values`` entries equal to
     :data:`_UNSET` mean "not passed".
     """
-    args = list(args)
-    if args and isinstance(args[0], ClustererConfig):
+    positionals = list(args)
+    if positionals and isinstance(positionals[0], ClustererConfig):
         if config is not None:
             raise ConfigurationError(
                 f"{cls_name}: config passed both positionally and as "
                 f"config= keyword"
             )
-        config = args.pop(0)
-    if len(args) > len(legacy_order):
+        config = positionals.pop(0)
+    if len(positionals) > len(legacy_order):
         raise TypeError(
             f"{cls_name} takes at most {len(legacy_order)} positional "
-            f"arguments after model, got {len(args)}"
+            f"arguments after model, got {len(positionals)}"
         )
-    if args:
+    if positionals:
         warnings.warn(
             f"{cls_name}: positional arguments beyond 'model' are "
             f"deprecated; pass a ClustererConfig or keyword arguments",
@@ -127,7 +127,7 @@ def resolve_clusterer_config(
     if config is not None:
         for field in dataclasses.fields(ClustererConfig):
             resolved[field.name] = getattr(config, field.name)
-    for name, value in zip(legacy_order, args):
+    for name, value in zip(legacy_order, positionals):
         if keyword_values.get(name, _UNSET) is not _UNSET:
             raise TypeError(
                 f"{cls_name} got multiple values for argument {name!r}"

@@ -29,15 +29,7 @@ via ``NoveltyKMeans(engine=...)``, the pipeline clusterers, and the
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
-
-try:  # pragma: no cover - Protocol is 3.8+, runtime_checkable too
-    from typing import Protocol, runtime_checkable
-except ImportError:  # pragma: no cover - very old pythons
-    Protocol = object  # type: ignore[assignment]
-
-    def runtime_checkable(cls):  # type: ignore[misc]
-        return cls
+from typing import Dict, List, Mapping, Optional, Protocol, Sequence, Tuple, runtime_checkable
 
 from ...vectors.sparse import SparseVector
 
@@ -111,7 +103,7 @@ class EngineBase:
     :meth:`best_gains` wholesale.
     """
 
-    def __init__(self, k: int, vectors: Dict[str, SparseVector]) -> None:
+    def __init__(self, k: int, vectors: Mapping[str, SparseVector]) -> None:
         self.k = int(k)
         self._assigned: Dict[str, int] = {}
         # a CSR batch (WeightedVectorArrays) answers emptiness for the

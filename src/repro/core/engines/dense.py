@@ -8,10 +8,11 @@ float-summation-order ties; the default for medium corpora.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Mapping, Tuple
 
 import numpy as np
 
+from ..._typing import FloatArray, IntArray
 from ...vectors.sparse import SparseVector
 from .base import EngineBase
 
@@ -23,12 +24,12 @@ class DenseEngine(EngineBase):
     accepts_arrays = True
 
     def __init__(
-        self, k: int, vectors: Dict[str, SparseVector], criterion: str
+        self, k: int, vectors: Mapping[str, SparseVector], criterion: str
     ) -> None:
         super().__init__(k, vectors)
         self._criterion = criterion
-        self._doc_ids: Dict[str, np.ndarray] = {}
-        self._doc_vals: Dict[str, np.ndarray] = {}
+        self._doc_ids: Dict[str, IntArray] = {}
+        self._doc_vals: Dict[str, FloatArray] = {}
         self._doc_w2: Dict[str, float] = {}
         csr_parts = getattr(vectors, "csr_parts", None)
         if callable(csr_parts):

@@ -33,18 +33,24 @@ with a clear message when it is missing.
 from __future__ import annotations
 
 from itertools import chain
-from typing import Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Sequence, Set, Tuple
 
 import numpy as np
 
+from ..._typing import FloatArray, IntArray
 from ...exceptions import ConfigurationError
 from ...vectors.sparse import SparseVector
 from .base import NO_GAIN, EngineBase
 
+# typed Any rather than a module so both the ImportError fallback and
+# the attribute accesses below type-check with or without scipy stubs
+_sp: Any = None
 try:  # pragma: no cover - exercised implicitly on import
-    from scipy import sparse as _sp
+    from scipy import sparse as _scipy_sparse
 except ImportError:  # pragma: no cover - scipy is present in CI/dev envs
-    _sp = None
+    pass
+else:
+    _sp = _scipy_sparse
 
 #: Documents per sweep block: large enough to amortise the two matmuls,
 #: small enough that the b×b Gram matrix stays cache-resident.
@@ -64,7 +70,7 @@ class MatrixEngine(EngineBase):
     def __init__(
         self,
         k: int,
-        vectors: Dict[str, SparseVector],
+        vectors: Mapping[str, SparseVector],
         criterion: str,
         block_size: int = DEFAULT_BLOCK_SIZE,
     ) -> None:
@@ -141,8 +147,7 @@ class MatrixEngine(EngineBase):
         # (rows, Xb, Gb) per block-start row: X never changes within a
         # fit, so block slices and their Gram matrices are reused by
         # every assignment pass
-        self._block_cache: Dict[int, Tuple[np.ndarray, object, np.ndarray]] \
-            = {}
+        self._block_cache: Dict[int, Tuple[IntArray, Any, FloatArray]] = {}
 
     # -- gain coefficients ----------------------------------------------
 
@@ -173,7 +178,7 @@ class MatrixEngine(EngineBase):
 
     # -- membership (direct path: warm start, reseed, rescue, split) -----
 
-    def _doc_slice(self, doc_id: str) -> Tuple[np.ndarray, np.ndarray]:
+    def _doc_slice(self, doc_id: str) -> Tuple[IntArray, FloatArray]:
         row = self._row[doc_id]
         start, stop = self._X.indptr[row], self._X.indptr[row + 1]
         return self._X.indices[start:stop], self._X.data[start:stop]
@@ -235,8 +240,8 @@ class MatrixEngine(EngineBase):
         return list(zip(best_out.tolist(), gain_out.tolist()))
 
     def _block(
-        self, block_rows: np.ndarray
-    ) -> Tuple[object, np.ndarray]:
+        self, block_rows: IntArray
+    ) -> Tuple[Any, FloatArray]:
         """Block slice ``Xb`` and its Gram matrix, cached across passes.
 
         ``X`` is immutable for the engine's lifetime and every
@@ -264,10 +269,10 @@ class MatrixEngine(EngineBase):
     def _sweep_block(
         self,
         block_ids: Sequence[str],
-        block_rows: np.ndarray,
-        gains: np.ndarray,
-        best_out: np.ndarray,
-        gain_out: np.ndarray,
+        block_rows: IntArray,
+        gains: FloatArray,
+        best_out: IntArray,
+        gain_out: FloatArray,
     ) -> None:
         """One block of the assignment sweep, answered by two matmuls.
 
@@ -288,7 +293,7 @@ class MatrixEngine(EngineBase):
         move_cluster: List[int] = []
         move_idx: List[int] = []
         move_sign: List[float] = []
-        emptied: set = set()
+        emptied: Set[int] = set()
         assigned = self._assigned
         crpp, ss, sizes = self._crpp, self._ss, self._sizes
         members = self._members
@@ -412,10 +417,10 @@ class MatrixEngine(EngineBase):
         self,
         block_ids: Sequence[str],
         i0: int,
-        ST: np.ndarray,
+        ST: FloatArray,
         w2_blk: List[float],
-        best_out: np.ndarray,
-        gain_out: np.ndarray,
+        best_out: IntArray,
+        gain_out: FloatArray,
     ) -> int:
         """Resolve a leading run of net-stationary documents at once.
 

@@ -15,12 +15,18 @@ checkpoints, and ``repro cluster --engine``).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Tuple
 
 from ...exceptions import ConfigurationError
 
-#: ``factory(k, vectors, criterion) -> Engine``
-EngineFactory = Callable[..., object]
+if TYPE_CHECKING:
+    from .base import Engine
+
+#: ``factory(k, vectors, criterion) -> Engine`` — returning the protocol
+#: type makes ``register_engine(name, SomeEngine)`` a conformance check:
+#: a concrete class whose methods drift from :class:`Engine` stops being
+#: assignable to this alias and fails mypy at the registration site.
+EngineFactory = Callable[..., "Engine"]
 
 _REGISTRY: Dict[str, EngineFactory] = {}
 

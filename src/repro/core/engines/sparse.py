@@ -8,7 +8,7 @@ it.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import List, Mapping, Tuple
 
 from ...vectors.sparse import SparseVector
 from ..cluster import Cluster
@@ -19,7 +19,7 @@ class SparseEngine(EngineBase):
     """Backend over :class:`Cluster` objects (reference implementation)."""
 
     def __init__(
-        self, k: int, vectors: Dict[str, SparseVector], criterion: str
+        self, k: int, vectors: Mapping[str, SparseVector], criterion: str
     ) -> None:
         super().__init__(k, vectors)
         self.clusters = [Cluster(i) for i in range(k)]

@@ -38,7 +38,7 @@ from ..obs import SPAN, Event, Recorder, Span, resolve
 from ..vectors.sparse import SparseVector
 from ..vectors.tfidf import NoveltyTfidfWeighter
 from .cluster import Cluster
-from .engines import DenseEngine, SparseEngine, resolve_engine
+from .engines import DenseEngine, Engine, SparseEngine, resolve_engine
 from .result import ClusteringResult
 
 # Backwards-compatible aliases for the engine classes that used to be
@@ -270,7 +270,7 @@ class NoveltyKMeans:
 
     def _random_seeds(
         self,
-        backend,
+        backend: Engine,
         docs: Sequence[Document],
         vectors: Mapping[str, SparseVector],
         assignment: Dict[str, int],
@@ -290,7 +290,7 @@ class NoveltyKMeans:
 
     def _warm_start(
         self,
-        backend,
+        backend: Engine,
         docs: Sequence[Document],
         vectors: Mapping[str, SparseVector],
         initial_assignment: Dict[str, int],
@@ -314,7 +314,7 @@ class NoveltyKMeans:
 
     def _assignment_pass(
         self,
-        backend,
+        backend: Engine,
         docs: Sequence[Document],
         assignment: Dict[str, int],
     ) -> List[str]:
@@ -341,7 +341,7 @@ class NoveltyKMeans:
 
     def _reseed_empty_clusters(
         self,
-        backend,
+        backend: Engine,
         outliers: List[str],
         assignment: Dict[str, int],
     ) -> int:
@@ -357,7 +357,7 @@ class NoveltyKMeans:
             key=lambda doc_id: backend.self_similarity(doc_id),
             reverse=True,
         )
-        seeded = set()
+        seeded: Set[str] = set()
         next_rank = 0
         for cluster_id in empty:
             if next_rank >= len(ranked):
@@ -375,7 +375,7 @@ class NoveltyKMeans:
 
     def _rescue_outliers(
         self,
-        backend,
+        backend: Engine,
         vectors: Mapping[str, SparseVector],
         outliers: List[str],
         assignment: Dict[str, int],
@@ -427,7 +427,7 @@ class NoveltyKMeans:
 
     def _split_repair(
         self,
-        backend,
+        backend: Engine,
         vectors: Mapping[str, SparseVector],
         assignment: Dict[str, int],
     ) -> bool:
@@ -500,7 +500,7 @@ class NoveltyKMeans:
         )
         if seed_a == seed_b:
             return []
-        moved = []
+        moved: List[str] = []
         for doc_id in members:
             sim_a = vectors[seed_a].dot(vectors[doc_id])
             sim_b = vectors[seed_b].dot(vectors[doc_id])

@@ -15,6 +15,8 @@ from typing import Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
+from .._typing import FloatArray, IntArray
+
 
 @dataclass(frozen=True)
 class Document:
@@ -70,7 +72,7 @@ class Document:
         """True when the document has no terms after preprocessing."""
         return self._length == 0
 
-    def term_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+    def term_arrays(self) -> Tuple[IntArray, FloatArray]:
         """``(term_ids, counts)`` as numpy arrays, lazily cached.
 
         Entries follow ``term_counts`` iteration order (ids are *not*
@@ -78,7 +80,9 @@ class Document:
         treated as read-only — they back the columnar statistics
         scatter-adds and the batched vectorisation path.
         """
-        cached = getattr(self, "_term_arrays", None)
+        cached: Optional[Tuple[IntArray, FloatArray]] = getattr(
+            self, "_term_arrays", None
+        )
         if cached is None:
             cached = (
                 np.fromiter(self.term_counts.keys(), dtype=np.int64,

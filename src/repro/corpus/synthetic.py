@@ -26,7 +26,7 @@ from __future__ import annotations
 import random
 import string
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from .._validation import (
     require_positive,
@@ -560,7 +560,7 @@ class TDT2Generator:
                 residual_topics[window] -= 1.0
         return tuple(weights)
 
-    def _topic_keywords(self, name: str, used: set) -> Tuple[str, ...]:
+    def _topic_keywords(self, name: str, used: Set[str]) -> Tuple[str, ...]:
         keywords: List[str] = []
         for word in self._name_words(name):
             if word not in used:

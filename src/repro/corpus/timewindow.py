@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..exceptions import ConfigurationError
 from .document import Document
@@ -86,7 +86,7 @@ def split_into_windows(
     documents: Iterable[Document],
     window_days: float,
     origin: float = 0.0,
-    end: float = None,
+    end: Optional[float] = None,
 ) -> List[TimeWindow]:
     """Partition ``documents`` into consecutive fixed-width windows.
 

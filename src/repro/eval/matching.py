@@ -9,7 +9,16 @@ topic."
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from .contingency import ContingencyTable
 
@@ -52,9 +61,9 @@ class MarkedCluster:
 
 def topic_membership(
     truth: Mapping[str, Optional[str]]
-) -> Dict[str, frozenset]:
+) -> Dict[str, FrozenSet[str]]:
     """Invert ``doc_id -> topic_id`` into ``topic_id -> {doc_ids}``."""
-    members: Dict[str, set] = {}
+    members: Dict[str, Set[str]] = {}
     for doc_id, topic_id in truth.items():
         if topic_id is not None:
             members.setdefault(topic_id, set()).add(doc_id)
@@ -119,9 +128,9 @@ def mark_clusters(
 
 
 def _best_topic(
-    member_set: frozenset,
+    member_set: FrozenSet[str],
     truth: Mapping[str, Optional[str]],
-    topics: Mapping[str, frozenset],
+    topics: Mapping[str, FrozenSet[str]],
     total: int,
 ) -> Optional[Tuple[str, ContingencyTable]]:
     """Return the topic with the highest precision in this cluster.

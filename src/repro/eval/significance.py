@@ -72,7 +72,7 @@ def _document_contributions(
     def bump(doc_id: str, index: int) -> None:
         cells = list(contributions.get(doc_id, (0, 0, 0)))
         cells[index] += 1
-        contributions[doc_id] = tuple(cells)  # type: ignore[assignment]
+        contributions[doc_id] = (cells[0], cells[1], cells[2])
 
     members_of = {
         cluster.cluster_id: frozenset(clusters[cluster.cluster_id])

@@ -33,19 +33,13 @@ backend.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Protocol, Sequence, Tuple, runtime_checkable
 
-import numpy as np
-
+from ..._typing import FloatArray, IntArray
 from ...corpus.document import Document
 
-try:  # pragma: no cover - Protocol is 3.8+, runtime_checkable too
-    from typing import Protocol, runtime_checkable
-except ImportError:  # pragma: no cover - very old pythons
-    Protocol = object  # type: ignore[assignment]
-
-    def runtime_checkable(cls):  # type: ignore[misc]
-        return cls
+if TYPE_CHECKING:
+    from ...obs import Recorder
 
 
 #: Fold the internal lazy scale factor back into the raw table before it
@@ -65,6 +59,8 @@ class StatisticsBackend(Protocol):
     """
 
     tdw: float
+
+    recorder: "Recorder"
 
     # -- mutations -------------------------------------------------------
 
@@ -121,7 +117,7 @@ class StatisticsBackend(Protocol):
     def term_mass(self, term_id: int) -> float:
         """Scaled term mass ``S_k`` (0.0 when absent or non-positive)."""
 
-    def term_mass_array(self, term_ids: np.ndarray) -> np.ndarray:
+    def term_mass_array(self, term_ids: IntArray) -> FloatArray:
         """Vectorised :meth:`term_mass` over an int64 id array."""
 
     def term_ids(self) -> List[int]:

@@ -36,8 +36,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..._typing import FloatArray, IntArray
 from ...corpus.document import Document
-from ...obs import NULL_RECORDER
+from ...obs import NULL_RECORDER, Recorder
 from .base import SCALE_FLOOR
 
 _MIN_CAPACITY = 64
@@ -49,7 +50,7 @@ class ColumnarStatisticsBackend:
     name = "columnar"
 
     def __init__(self) -> None:
-        self.recorder = NULL_RECORDER
+        self.recorder: Recorder = NULL_RECORDER
         self.tdw = 0.0
         # rows: one slot per inserted document, in insertion order;
         # removal blanks the slot (compacted when holes dominate)
@@ -102,7 +103,7 @@ class ColumnarStatisticsBackend:
         fresh[:capacity] = self._term_col
         self._term_col = fresh
 
-    def _lookup_cols(self, term_ids: np.ndarray) -> np.ndarray:
+    def _lookup_cols(self, term_ids: IntArray) -> IntArray:
         """Column index per term id; -1 where the term is unknown."""
         capacity = self._term_col.size
         if capacity == 0 or term_ids.size == 0:
@@ -113,7 +114,7 @@ class ColumnarStatisticsBackend:
         clipped = np.clip(term_ids, 0, capacity - 1)
         return np.where(in_range, self._term_col[clipped], -1)
 
-    def _intern(self, term_ids: np.ndarray) -> np.ndarray:
+    def _intern(self, term_ids: IntArray) -> IntArray:
         """Column index per term id, allocating columns for new terms."""
         if term_ids.size == 0:
             return term_ids.astype(np.int64)
@@ -165,8 +166,10 @@ class ColumnarStatisticsBackend:
         self._active = np.zeros(capacity, dtype=bool)
         self._active[:keep.size] = True
         self._row_doc = survivors
+        # active rows always hold a doc id; the None filter only narrows
         self._doc_row = {
             doc_id: row for row, doc_id in enumerate(survivors)
+            if doc_id is not None
         }
 
     # -- mutations ---------------------------------------------------------
@@ -364,7 +367,8 @@ class ColumnarStatisticsBackend:
         mask = self._active[:used] & (
             (weights == 0.0) | (weights < epsilon)
         )
-        return [self._row_doc[row] for row in np.flatnonzero(mask).tolist()]
+        ids = (self._row_doc[row] for row in np.flatnonzero(mask).tolist())
+        return [doc_id for doc_id in ids if doc_id is not None]
 
     # -- queries -----------------------------------------------------------
 
@@ -398,7 +402,7 @@ class ColumnarStatisticsBackend:
             return 0.0
         return raw * self._mass_scale
 
-    def term_mass_array(self, term_ids: np.ndarray) -> np.ndarray:
+    def term_mass_array(self, term_ids: IntArray) -> FloatArray:
         if self._n_terms == 0:
             return np.zeros(term_ids.shape, dtype=np.float64)
         cols = self._lookup_cols(term_ids)
@@ -410,7 +414,8 @@ class ColumnarStatisticsBackend:
     def term_ids(self) -> List[int]:
         n = self._n_terms
         positive = self._mass_raw[:n] > 0.0
-        return self._col_term[:n][positive].tolist()
+        ids: List[int] = self._col_term[:n][positive].tolist()
+        return ids
 
     def vocabulary_size(self) -> int:
         n = self._n_terms

@@ -20,8 +20,9 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from ..._typing import FloatArray, IntArray
 from ...corpus.document import Document
-from ...obs import NULL_RECORDER
+from ...obs import NULL_RECORDER, Recorder
 from .base import SCALE_FLOOR
 
 
@@ -31,7 +32,7 @@ class DictStatisticsBackend:
     name = "dict"
 
     def __init__(self) -> None:
-        self.recorder = NULL_RECORDER
+        self.recorder: Recorder = NULL_RECORDER
         self.tdw = 0.0
         self._dw: Dict[str, float] = {}
         self._term_mass_raw: Dict[int, float] = {}
@@ -148,7 +149,7 @@ class DictStatisticsBackend:
             return 0.0
         return mass * self._term_scale
 
-    def term_mass_array(self, term_ids: np.ndarray) -> np.ndarray:
+    def term_mass_array(self, term_ids: IntArray) -> FloatArray:
         raw = self._term_mass_raw
         masses = np.fromiter(
             (raw.get(tid, 0.0) for tid in term_ids.tolist()),

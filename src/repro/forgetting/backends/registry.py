@@ -17,12 +17,18 @@ checkpoints, and ``repro cluster --stats-backend``).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Tuple
 
 from ...exceptions import ConfigurationError
 
-#: ``factory() -> StatisticsBackend``
-BackendFactory = Callable[[], object]
+if TYPE_CHECKING:
+    from .base import StatisticsBackend
+
+#: ``factory() -> StatisticsBackend`` — returning the protocol type makes
+#: ``register_backend(name, SomeBackend)`` a conformance check: a class
+#: whose methods drift from :class:`StatisticsBackend` stops being
+#: assignable to this alias and fails mypy at the registration site.
+BackendFactory = Callable[[], "StatisticsBackend"]
 
 _REGISTRY: Dict[str, BackendFactory] = {}
 

@@ -32,10 +32,11 @@ observability.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
 
 import numpy as np
 
+from .._typing import FloatArray, IntArray
 from ..corpus.document import Document
 from ..exceptions import (
     ConfigurationError,
@@ -220,7 +221,7 @@ class CorpusStatistics:
         )
         if clean:
             return
-        seen: set = set()
+        seen: Set[str] = set()
         for doc in batch:
             if doc.timestamp > at_time:
                 raise ConfigurationError(
@@ -352,7 +353,7 @@ class CorpusStatistics:
             return 0.0
         return 1.0 / math.sqrt(pr)
 
-    def idf_array(self, term_ids: np.ndarray) -> np.ndarray:
+    def idf_array(self, term_ids: IntArray) -> FloatArray:
         """Vectorised :meth:`idf` over an int64 term-id array.
 
         Identical arithmetic to the scalar path (same operation order,

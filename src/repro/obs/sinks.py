@@ -14,7 +14,8 @@ import json
 import logging
 import os
 import time
-from typing import Any, Optional, Union
+from types import TracebackType
+from typing import Any, Optional, Type, Union
 
 from .events import Event
 from .recorder import Recorder
@@ -57,7 +58,12 @@ class JsonlRecorder(Recorder):
     def __enter__(self) -> "JsonlRecorder":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
         self.close()
         return False
 

@@ -10,9 +10,13 @@ default :class:`~repro.obs.recorder.NullRecorder`.
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, Optional
+from types import TracebackType
+from typing import TYPE_CHECKING, Any, Dict, Optional, Type
 
 from .events import SPAN, Event
+
+if TYPE_CHECKING:
+    from .recorder import Recorder
 
 
 class Span:
@@ -41,7 +45,12 @@ class Span:
         self._start = time.perf_counter()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
         self.duration = time.perf_counter() - self._start
         if self._recorder.enabled:
             tags = dict(self.tags)

@@ -38,7 +38,7 @@ class PorterStemmer:
     """
 
     def __init__(self, cache: bool = True) -> None:
-        self._cache: Dict[str, str] = {} if cache else None  # type: ignore[assignment]
+        self._cache: Optional[Dict[str, str]] = {} if cache else None
 
     # -- public API --------------------------------------------------
 

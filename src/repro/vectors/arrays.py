@@ -15,19 +15,16 @@ so almost no dicts are ever built.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from typing import Dict, Iterator, List, Sequence, Tuple
-
-try:
-    from collections.abc import Mapping
-except ImportError:  # pragma: no cover - py2 relic guard
-    from collections import Mapping  # type: ignore[attr-defined]
 
 import numpy as np
 
+from .._typing import FloatArray, IntArray
 from .sparse import SparseVector
 
 
-class WeightedVectorArrays(Mapping):
+class WeightedVectorArrays(Mapping[str, SparseVector]):
     """Batch of weighted document vectors in one CSR layout.
 
     Parameters
@@ -51,9 +48,9 @@ class WeightedVectorArrays(Mapping):
     def __init__(
         self,
         doc_ids: Sequence[str],
-        indptr: np.ndarray,
-        term_ids: np.ndarray,
-        data: np.ndarray,
+        indptr: IntArray,
+        term_ids: IntArray,
+        data: FloatArray,
     ) -> None:
         self.doc_ids: List[str] = list(doc_ids)
         self.indptr = indptr
@@ -92,7 +89,7 @@ class WeightedVectorArrays(Mapping):
 
     def csr_parts(
         self,
-    ) -> Tuple[List[str], np.ndarray, np.ndarray, np.ndarray]:
+    ) -> Tuple[List[str], IntArray, IntArray, FloatArray]:
         """``(doc_ids, indptr, term_ids, data)`` — the engine fast path."""
         return self.doc_ids, self.indptr, self.term_ids, self.data
 

@@ -13,9 +13,11 @@ the arithmetic operators return new vectors.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, Iterator, Mapping, Tuple
+from typing import Dict, Iterable, Iterator, Mapping, Tuple, Union
 
 import numpy as np
+
+from .._typing import FloatArray
 
 
 class SparseVector:
@@ -33,7 +35,14 @@ class SparseVector:
 
     __slots__ = ("_data",)
 
-    def __init__(self, data: Mapping[int, float] = ()) -> None:
+    def __init__(
+        self,
+        data: Union[
+            "SparseVector",
+            Mapping[int, float],
+            Iterable[Tuple[int, float]],
+        ] = (),
+    ) -> None:
         if isinstance(data, SparseVector):
             self._data = dict(data._data)
         else:
@@ -87,7 +96,7 @@ class SparseVector:
     def to_dict(self) -> Dict[int, float]:
         return dict(self._data)
 
-    def to_dense(self, size: int) -> np.ndarray:
+    def to_dense(self, size: int) -> FloatArray:
         """Return a dense ``numpy`` array of length ``size``."""
         dense = np.zeros(size, dtype=np.float64)
         for key, value in self._data.items():

@@ -22,10 +22,11 @@ the clustering layer rebuilds them per run.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Set
 
 import numpy as np
 
+from .._typing import FloatArray, IntArray
 from ..corpus.document import Document
 from ..forgetting.statistics import CorpusStatistics
 from .arrays import WeightedVectorArrays
@@ -92,7 +93,7 @@ class NoveltyTfidfWeighter:
         idf_cache = self._idf_cache
         statistics_idf = self._statistics.idf
         pr_document = self._statistics.pr_document
-        terms: set = set()
+        terms: Set[int] = set()
         for doc in documents:
             terms.update(doc.term_counts)
         for term_id in terms.difference(idf_cache):
@@ -140,8 +141,8 @@ class NoveltyTfidfWeighter:
         doc_ids = [doc.doc_id for doc in documents]
         lens = np.zeros(n, dtype=np.int64)
         scales = np.zeros(n, dtype=np.float64)
-        id_parts: List[np.ndarray] = []
-        count_parts: List[np.ndarray] = []
+        id_parts: List[IntArray] = []
+        count_parts: List[FloatArray] = []
         for row, doc in enumerate(documents):
             length = doc.length
             if length == 0:
