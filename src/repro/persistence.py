@@ -24,6 +24,8 @@ across vocabularies, exactly like :mod:`repro.corpus.loaders`.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Optional, Tuple, Union
 
@@ -90,8 +92,29 @@ def save_checkpoint(
         ],
         "assignment": clusterer.assignments(),
     }
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(state, handle, ensure_ascii=False)
+    # never open the target for writing: a crash (or a serialization
+    # error) mid-dump would leave a truncated checkpoint where a good
+    # one used to be. Stream into a sibling temp file, force it to
+    # disk, and rename it over the target — os.replace is atomic on
+    # POSIX and Windows, so the old checkpoint survives any failure.
+    target = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(target.parent or Path(".")),
+        prefix=f"{target.name}.",
+        suffix=".tmp",
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(state, handle, ensure_ascii=False)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 def load_checkpoint(

@@ -2,6 +2,7 @@
 
 import json
 import math
+import os
 
 import pytest
 
@@ -110,6 +111,40 @@ class TestRoundTrip:
         assert restored.warm_start is False
         assert km.rescue_outliers is False
         assert restored.model.half_life == 4.0
+
+
+class TestAtomicSave:
+    def test_failed_save_preserves_previous_checkpoint(
+        self, stream, tmp_path, monkeypatch
+    ):
+        """A write failure mid-dump must not clobber the old checkpoint
+        (regression: save opened the target with "w")."""
+        model = ForgettingModel(half_life=4.0, life_span=8.0)
+        clusterer = IncrementalClusterer(model, k=3, seed=1)
+        run_stream(clusterer, stream, days=6)
+        path = tmp_path / "state.json"
+        save_checkpoint(clusterer, stream.vocabulary, path)
+        good = path.read_bytes()
+
+        def explode(*args, **kwargs):
+            raise OSError("disk full")
+
+        # dies at the fsync of the temp file, before any rename
+        monkeypatch.setattr(os, "fsync", explode)
+        with pytest.raises(OSError):
+            save_checkpoint(clusterer, stream.vocabulary, path)
+        assert path.read_bytes() == good
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_save_never_leaves_temp_files(self, stream, tmp_path):
+        model = ForgettingModel(half_life=4.0, life_span=8.0)
+        clusterer = IncrementalClusterer(model, k=3, seed=1)
+        run_stream(clusterer, stream, days=6)
+        path = tmp_path / "state.json"
+        save_checkpoint(clusterer, stream.vocabulary, path)
+        save_checkpoint(clusterer, stream.vocabulary, path)  # overwrite
+        assert list(tmp_path.glob("*.tmp")) == []
+        load_checkpoint(path, stream.vocabulary)  # still valid JSON
 
 
 class TestErrors:
