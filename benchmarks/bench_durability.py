@@ -1,0 +1,148 @@
+"""Durability overhead — what crash safety costs per batch.
+
+Replays a synthetic stream through the incremental clusterer three
+ways — bare (no persistence), journal-only (``--checkpoint-every``
+large), and checkpoint-every-window — and times the whole run, so the
+report answers the operational question directly: how much slower is a
+crash-safe pipeline, and how does the checkpoint cadence trade recovery
+staleness against throughput. A recovery timing (load newest checkpoint
++ replay the journal tail) rides along.
+
+Writes ``benchmarks/reports/BENCH_durability.json`` with the per-batch
+overheads, and asserts — timing-free, safe on noisy CI machines — that
+the durable run's recovered state matches the bare run's assignments
+exactly. ``REPRO_BENCH_QUICK=1`` shrinks the stream and rounds.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import shutil
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import Checkpointer, ForgettingModel, IncrementalClusterer, recover
+from repro.corpus.streams import iter_batches
+from repro.corpus.synthetic import SyntheticCorpusConfig, TDT2Generator
+
+BENCH_DURABILITY_PATH = (
+    Path(__file__).parent / "reports" / "BENCH_durability.json"
+)
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+BATCH_DAYS = 7.0
+K = 16
+SEED = 3
+ROUNDS = 1 if QUICK else 3
+TOTAL_DOCS = 400 if QUICK else 2000
+
+MODES = (
+    ("bare", None),          # no persistence at all
+    ("journal_only", 10_000),  # fsync per batch, checkpoint only at close
+    ("checkpoint_every_window", 1),
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    config = SyntheticCorpusConfig(seed=1998, total_documents=TOTAL_DOCS)
+    repo = TDT2Generator(config).generate()
+    docs = sorted(repo.documents(), key=lambda d: (d.timestamp, d.doc_id))
+    model = ForgettingModel(half_life=7.0, life_span=14.0)
+    batches = list(iter_batches(docs, BATCH_DAYS))
+    return repo.vocabulary, batches, model
+
+
+def _run(vocabulary, batches, model, every, workdir):
+    """One replay; returns (clusterer, elapsed, checkpoint_path)."""
+    clusterer = IncrementalClusterer(model, k=K, seed=SEED)
+    path = None
+    checkpointer = None
+    if every is not None:
+        path = workdir / "state.json"
+        checkpointer = Checkpointer(
+            clusterer, vocabulary, path, every=every
+        )
+        clusterer.add_commit_hook(checkpointer.record_batch)
+    start = time.perf_counter()
+    for at_time, batch in batches:
+        clusterer.process_batch(batch, at_time=at_time)
+    if checkpointer is not None:
+        checkpointer.close()
+    return clusterer, time.perf_counter() - start, path
+
+
+class TestDurabilityOverhead:
+    def test_overhead_report_and_recovery_parity(
+        self, workload, tmp_path, reporter
+    ):
+        vocabulary, batches, model = workload
+        timings = {name: [] for name, _ in MODES}
+        final = {}
+        checkpoint_path = None
+        for round_index in range(ROUNDS):
+            for name, every in MODES:
+                workdir = tmp_path / f"{name}-{round_index}"
+                workdir.mkdir()
+                clusterer, elapsed, path = _run(
+                    vocabulary, batches, model, every, workdir
+                )
+                timings[name].append(elapsed)
+                final[name] = clusterer
+                if name == "checkpoint_every_window":
+                    checkpoint_path = path
+
+        # recovery cost: newest checkpoint + journal tail
+        start = time.perf_counter()
+        recovery = recover(checkpoint_path)
+        recovery_seconds = time.perf_counter() - start
+
+        # crash safety must not change the clustering: the durable runs
+        # and the recovered state agree with the bare run exactly
+        bare = final["bare"].assignments()
+        assert final["journal_only"].assignments() == bare
+        assert final["checkpoint_every_window"].assignments() == bare
+        assert recovery.clusterer.assignments() == bare
+        assert recovery.sequence == len(batches)
+
+        best = {name: min(times) for name, times in timings.items()}
+        n = len(batches)
+        point = {
+            "batches": n,
+            "documents": sum(len(b) for _, b in batches),
+            "rounds": ROUNDS,
+            "quick": QUICK,
+            "seconds": best,
+            "per_batch_overhead_seconds": {
+                name: (best[name] - best["bare"]) / n
+                for name, _ in MODES if name != "bare"
+            },
+            "overhead_ratio": {
+                name: best[name] / best["bare"]
+                for name, _ in MODES if name != "bare"
+            },
+            "recovery_seconds": recovery_seconds,
+        }
+        BENCH_DURABILITY_PATH.parent.mkdir(exist_ok=True)
+        BENCH_DURABILITY_PATH.write_text(
+            json.dumps(point, indent=2) + "\n", encoding="utf-8"
+        )
+
+        lines = [
+            f"{'mode':<26} {'seconds':>9} {'vs bare':>9}",
+            *(
+                f"{name:<26} {best[name]:>9.3f} "
+                f"{best[name] / best['bare']:>8.2f}x"
+                for name, _ in MODES
+            ),
+            f"{'recovery':<26} {recovery_seconds:>9.3f}",
+        ]
+        reporter.add("durability_overhead", "\n".join(lines))
+        assert all(
+            math.isfinite(value) and value > 0
+            for value in best.values()
+        )
+        shutil.rmtree(tmp_path, ignore_errors=True)

@@ -24,6 +24,7 @@ from .exceptions import (
     ConfigurationError,
     DuplicateDocumentError,
     EmptyCorpusError,
+    JournalError,
     NotFittedError,
     ReproError,
     UnknownDocumentError,
@@ -68,6 +69,12 @@ from .core import (
     resolve_engine,
 )
 from .persistence import CheckpointError, load_checkpoint, save_checkpoint
+from .durability import (
+    BatchJournal,
+    Checkpointer,
+    RecoveryResult,
+    recover,
+)
 from .analysis import (
     BurstInterval,
     ClusterTrend,
@@ -168,6 +175,12 @@ __all__ = [
     "CheckpointError",
     "save_checkpoint",
     "load_checkpoint",
+    # durability
+    "JournalError",
+    "BatchJournal",
+    "Checkpointer",
+    "RecoveryResult",
+    "recover",
     # analysis
     "ClusterTrend",
     "cluster_novelty",

@@ -6,8 +6,8 @@
     repro cluster  --input stream.jsonl [--k N] [--half-life D]
                    [--life-span D] [--batch-days D]
                    [--engine NAME] [--stats-backend NAME] [--jobs N]
-                   [--checkpoint state.json] [--resume state.json]
-                   [--trace trace.jsonl]
+                   [--checkpoint state.json] [--checkpoint-every N]
+                   [--resume state.json] [--trace trace.jsonl]
     repro experiment1 [--unlabeled-per-day N]
     repro experiment2 [--windows 1,4] [--betas 7,30]
 
@@ -34,7 +34,8 @@ from .core.labeling import label_clustering
 from .eval.metrics import evaluate_clustering
 from .forgetting.backends import available_backends
 from .forgetting.model import ForgettingModel
-from .persistence import load_checkpoint, save_checkpoint
+from .durability import Checkpointer, recover
+from .durability.atomic import prepare_checkpoint_path
 from .text.vocabulary import Vocabulary
 
 if TYPE_CHECKING:
@@ -89,9 +90,21 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default: serial)")
     cluster.add_argument("--top-terms", type=int, default=4)
     cluster.add_argument("--checkpoint", default=None,
-                         help="write final state to this path")
+                         help="maintain a crash-safe checkpoint (plus a "
+                              "batch journal alongside) at this path; "
+                              "written atomically after every window "
+                              "and at the end of the run")
+    cluster.add_argument("--checkpoint-every", type=int, default=None,
+                         metavar="N",
+                         help="with --checkpoint: rewrite the checkpoint "
+                              "every N windows instead of after every "
+                              "window (the journal still makes recovery "
+                              "exact; N only bounds checkpoint I/O)")
     cluster.add_argument("--resume", default=None,
-                         help="resume from a checkpoint written earlier")
+                         help="resume from a checkpoint written earlier; "
+                              "falls back to its .bak generation and "
+                              "replays the batch journal when the run "
+                              "was interrupted")
     cluster.add_argument("--quiet", action="store_true",
                          help="only print the final report")
     cluster.add_argument("--trace", default=None, metavar="PATH",
@@ -155,25 +168,48 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
 def _run_cluster(
     args: argparse.Namespace, recorder: Optional["Recorder"]
 ) -> int:
+    if args.checkpoint_every is not None:
+        if not args.checkpoint:
+            raise ValueError("--checkpoint-every requires --checkpoint")
+        if args.checkpoint_every < 1:
+            raise ValueError(
+                f"--checkpoint-every must be >= 1, "
+                f"got {args.checkpoint_every}"
+            )
+    if args.checkpoint:
+        # fail before the first batch, not after hours of clustering:
+        # creates missing parent directories, rejects unwritable paths
+        prepare_checkpoint_path(args.checkpoint)
+
     vocabulary = Vocabulary()
+    sequence = 0
     if args.resume:
         # like --engine, the statistics backend only changes *how* the
         # numbers are stored, so it is safe to swap when resuming
-        clusterer, vocabulary = load_checkpoint(
+        recovery = recover(
             args.resume, vocabulary,
             statistics_backend=args.stats_backend,
+            recorder=recorder,
         )
-        if recorder is not None:
-            clusterer.set_recorder(recorder)
+        clusterer = recovery.clusterer
+        sequence = recovery.sequence
         if args.engine is not None:
             # the engine only changes *how* the numbers are computed,
             # never the clustering state, so unlike k/seed it is safe
             # to swap when resuming
             clusterer.kmeans.engine = args.engine
+        recovered = ""
+        if recovery.used_backup:
+            recovered += (f" (primary checkpoint unreadable; recovered "
+                          f"from {recovery.checkpoint_path})")
+        if recovery.replayed_batches:
+            recovered += (f" (replayed {recovery.replayed_batches} "
+                          f"journaled batches)")
         print(f"resumed from {args.resume}: "
               f"{clusterer.statistics.size} active documents at "
               f"t={clusterer.statistics.now} "
-              f"using engine '{clusterer.kmeans.engine}' "
+              f"using engine '{clusterer.kmeans.engine}'"
+              f"{recovered} "
               f"(checkpoint parameters take precedence over "
               f"--k/--half-life/--life-span/--seed; documents older "
               f"than the checkpoint clock are treated as already "
@@ -208,35 +244,52 @@ def _run_cluster(
     )
     documents = [d for d in documents if d.timestamp >= already]
 
-    if documents:
-        def report(
-            at_time: float,
-            batch: List["Document"],
-            batch_result: "ClusteringResult",
-        ) -> None:
-            if not args.quiet:
-                print(f"t={at_time:8.1f}  +{len(batch):5d} docs  "
-                      f"{batch_result.summary()}")
-
-        # resume continues the original batch grid from the checkpoint
-        # clock; a fresh run anchors at the first document
-        origin = clusterer.statistics.now if args.resume else None
-        results = replay(
-            clusterer, documents, args.batch_days,
-            origin=origin, on_batch=report,
+    checkpointer: Optional[Checkpointer] = None
+    if args.checkpoint:
+        checkpointer = Checkpointer(
+            clusterer, vocabulary, args.checkpoint,
+            every=args.checkpoint_every or 1,
+            sequence=sequence,
+            recorder=recorder,
         )
-        result = results[-1] if results else None
-    else:
-        # resumed past the whole stream: re-cluster the carried state
-        print("no new documents beyond the checkpoint; re-clustering "
-              "the carried state")
-        at_time = clusterer.statistics.now
-        if at_time is None:
-            # a fresh (never-fed) clusterer has no clock to re-cluster
-            # at; previously this leaked ``None`` into process_batch
-            print("no batches processed", file=sys.stderr)
-            return 1
-        result = clusterer.process_batch([], at_time=at_time)
+        clusterer.add_commit_hook(checkpointer.record_batch)
+    try:
+        if documents:
+            def report(
+                at_time: float,
+                batch: List["Document"],
+                batch_result: "ClusteringResult",
+            ) -> None:
+                if not args.quiet:
+                    print(f"t={at_time:8.1f}  +{len(batch):5d} docs  "
+                          f"{batch_result.summary()}")
+
+            # resume continues the original batch grid from the
+            # checkpoint clock; a fresh run anchors at the first document
+            origin = clusterer.statistics.now if args.resume else None
+            results = replay(
+                clusterer, documents, args.batch_days,
+                origin=origin, on_batch=report,
+            )
+            result = results[-1] if results else None
+        else:
+            # resumed past the whole stream: re-cluster the carried state
+            print("no new documents beyond the checkpoint; re-clustering "
+                  "the carried state")
+            at_time = clusterer.statistics.now
+            if at_time is None:
+                # a fresh (never-fed) clusterer has no clock to
+                # re-cluster at; previously this leaked ``None`` into
+                # process_batch
+                print("no batches processed", file=sys.stderr)
+                return 1
+            result = clusterer.process_batch([], at_time=at_time)
+    finally:
+        # flushes a final checkpoint when batches are pending and closes
+        # the journal handle, even when replay dies mid-stream — the
+        # whole point of this PR
+        if checkpointer is not None:
+            checkpointer.close()
 
     if result is None:
         print("no batches processed", file=sys.stderr)
@@ -262,7 +315,6 @@ def _run_cluster(
               f"{evaluation.n_marked} marked clusters")
 
     if args.checkpoint:
-        save_checkpoint(clusterer, vocabulary, args.checkpoint)
         print(f"\ncheckpoint written to {args.checkpoint}")
     return 0
 
@@ -350,6 +402,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               file=sys.stderr)
         return 2
     except (ReproError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        # disk full, permissions, torn writes — environment, not a bug;
+        # any checkpoint/journal on disk is still intact for --resume
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -32,7 +32,7 @@ pass ``recorder=`` or install an ambient recorder to collect them.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from ..corpus.document import Document
 from ..exceptions import ClusteringError
@@ -48,6 +48,9 @@ from .config import (
 )
 from .kmeans import NoveltyKMeans
 from .result import ClusteringResult
+
+#: Callback invoked with ``(batch, at_time)`` after a batch commits.
+CommitHook = Callable[[List[Document], float], None]
 
 
 class IncrementalClusterer:
@@ -116,10 +119,24 @@ class IncrementalClusterer:
         )
         self.history: List[ClusteringResult] = []
         self._assignment: Dict[str, int] = {}
+        self._commit_hooks: List[CommitHook] = []
 
     @property
     def last_result(self) -> Optional[ClusteringResult]:
         return self.history[-1] if self.history else None
+
+    def add_commit_hook(self, hook: CommitHook) -> None:
+        """Register ``hook(batch, at_time)``, called after a batch commits.
+
+        Hooks run only once the transactional ingestion has fully
+        succeeded (statistics, assignments, and history updated), so a
+        hook observes exactly the batches the in-memory state contains
+        — which is what lets :class:`repro.durability.Checkpointer`
+        journal accepted batches without ever journaling a rolled-back
+        one. A hook failure propagates to the caller; the batch itself
+        stays committed.
+        """
+        self._commit_hooks.append(hook)
 
     def set_recorder(self, recorder: Optional[Recorder]) -> None:
         """Attach ``recorder`` to the pipeline and all its components.
@@ -214,6 +231,8 @@ class IncrementalClusterer:
         self.history.append(result)
         if self.recorder.enabled:
             self.recorder.counter("pipeline.batches")
+        for hook in self._commit_hooks:
+            hook(batch, at_time)
         return result
 
     def assignments(self) -> Dict[str, int]:

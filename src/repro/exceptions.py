@@ -41,5 +41,13 @@ class NotFittedError(ReproError, RuntimeError):
     """A result was requested before the producing computation ran."""
 
 
+class CheckpointError(ReproError):
+    """A checkpoint file is missing fields, corrupt, or wrong version."""
+
+
+class JournalError(ReproError):
+    """A batch journal is unreadable or was asked to do the impossible."""
+
+
 class VocabularyFrozenError(ReproError, RuntimeError):
     """A term was added to a vocabulary after it was frozen."""

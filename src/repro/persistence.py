@@ -13,26 +13,35 @@ Format: a single JSON document, versioned::
      "model": {"half_life": 7.0, "life_span": 14.0},
      "kmeans": {"k": 24, "delta": 0.01, ...},
      "now": 42.0, "warm_start": true, "statistics_backend": "dict",
+     "sequence": 6, "checksum": "sha256:...",
      "documents": [{"doc_id": ..., "timestamp": ..., "topic_id": ...,
                     "source": ..., "title": ..., "terms": {"word": n}}],
      "assignment": {"doc_id": cluster_id, ...}}
 
 Term counts are keyed by term *string* so checkpoints are portable
 across vocabularies, exactly like :mod:`repro.corpus.loaders`.
+
+Durability: :func:`save_checkpoint` goes through
+:mod:`repro.durability.atomic` — the JSON is streamed into a sibling
+temp file, fsynced, and renamed over the target, with the previous
+checkpoint rotated to ``<path>.bak`` — so no crash or serialization
+error ever leaves a corrupt or truncated state file. The ``checksum``
+field (sha256 over the canonical JSON of everything else) is verified
+on load; ``sequence`` counts the batches the state reflects and ties
+the checkpoint to its batch journal (see :mod:`repro.durability`).
 """
 
 from __future__ import annotations
 
 import json
-import os
-import tempfile
 from pathlib import Path
-from typing import Optional, Tuple, Union
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 from .core.incremental import IncrementalClusterer
 from .corpus.document import Document
-from .exceptions import ReproError
+from .exceptions import CheckpointError
 from .forgetting.model import ForgettingModel
+from .obs import Span, resolve
 from .text.vocabulary import Vocabulary
 
 PathLike = Union[str, Path]
@@ -41,23 +50,76 @@ _FORMAT = "repro-checkpoint"
 _VERSION = 1
 
 
-class CheckpointError(ReproError):
-    """A checkpoint file is missing fields, corrupt, or wrong version."""
+def document_record(
+    doc: Document, vocabulary: Vocabulary
+) -> Dict[str, Any]:
+    """Serialize one document with terms keyed by string.
+
+    The shared record shape of checkpoints and batch journals. Raises
+    :class:`CheckpointError` naming the document when it holds a term
+    id the vocabulary does not know (previously a bare ``IndexError``
+    out of ``vocabulary.term``).
+    """
+    terms: Dict[str, int] = {}
+    size = len(vocabulary)
+    for term_id, count in sorted(doc.term_counts.items()):
+        if not 0 <= term_id < size:
+            raise CheckpointError(
+                f"document {doc.doc_id!r} holds term id {term_id}, "
+                f"which is not in the vocabulary (size {size}); was the "
+                f"wrong vocabulary passed?"
+            )
+        terms[vocabulary.term(term_id)] = count
+    return {
+        "doc_id": doc.doc_id,
+        "timestamp": doc.timestamp,
+        "topic_id": doc.topic_id,
+        "source": doc.source,
+        "title": doc.title,
+        "terms": terms,
+    }
+
+
+def record_to_document(
+    record: Mapping[str, Any], vocabulary: Vocabulary
+) -> Document:
+    """Rebuild a :class:`Document` from a record, interning its terms."""
+    return Document(
+        doc_id=record["doc_id"],
+        timestamp=float(record["timestamp"]),
+        term_counts={
+            vocabulary.add(term): int(count)
+            for term, count in record["terms"].items()
+        },
+        topic_id=record.get("topic_id"),
+        source=record.get("source"),
+        title=record.get("title"),
+    )
 
 
 def save_checkpoint(
     clusterer: IncrementalClusterer,
     vocabulary: Vocabulary,
     path: PathLike,
+    sequence: Optional[int] = None,
 ) -> None:
-    """Write ``clusterer``'s full state to ``path`` as JSON.
+    """Write ``clusterer``'s full state to ``path`` as JSON, atomically.
 
     ``vocabulary`` must be the vocabulary the clusterer's documents
     were ingested with (usually ``repository.vocabulary``).
+    ``sequence`` (used by :class:`repro.durability.Checkpointer`)
+    records how many batches the state reflects, pairing the checkpoint
+    with its journal. The write never touches the previous checkpoint
+    until the new one is fully on disk; the old file survives one
+    rotation as ``<path>.bak``.
     """
+    # imported late: repro.durability builds on this module, so the
+    # low-level writer cannot be a top-level import without a cycle
+    from .durability.atomic import atomic_write_json
+
     kmeans = clusterer.kmeans
     statistics = clusterer.statistics
-    state = {
+    state: Dict[str, Any] = {
         "format": _FORMAT,
         "version": _VERSION,
         "model": {
@@ -77,44 +139,59 @@ def save_checkpoint(
         "statistics_backend": statistics.backend_name,
         "now": statistics.now,
         "documents": [
-            {
-                "doc_id": doc.doc_id,
-                "timestamp": doc.timestamp,
-                "topic_id": doc.topic_id,
-                "source": doc.source,
-                "title": doc.title,
-                "terms": {
-                    vocabulary.term(term_id): count
-                    for term_id, count in sorted(doc.term_counts.items())
-                },
-            }
+            document_record(doc, vocabulary)
             for doc in statistics.documents()
         ],
         "assignment": clusterer.assignments(),
     }
-    # never open the target for writing: a crash (or a serialization
-    # error) mid-dump would leave a truncated checkpoint where a good
-    # one used to be. Stream into a sibling temp file, force it to
-    # disk, and rename it over the target — os.replace is atomic on
-    # POSIX and Windows, so the old checkpoint survives any failure.
-    target = Path(path)
-    fd, tmp_name = tempfile.mkstemp(
-        dir=str(target.parent or Path(".")),
-        prefix=f"{target.name}.",
-        suffix=".tmp",
-    )
+    if sequence is not None:
+        state["sequence"] = int(sequence)
+    recorder = resolve(None)
+    with Span(recorder, "checkpoint.save",
+              {"docs": len(state["documents"])}):
+        written = atomic_write_json(
+            state, path, durable=True, backup=True, add_checksum=True
+        )
+    if recorder.enabled:
+        recorder.counter("checkpoint.saves")
+        recorder.gauge("checkpoint.bytes", written)
+
+
+def read_checkpoint_state(path: PathLike) -> Dict[str, Any]:
+    """Parse ``path`` and validate its envelope, returning the raw state.
+
+    Checks JSON well-formedness, the format marker, the version, and —
+    when the file carries one — the payload checksum. Raises
+    :class:`CheckpointError` on any mismatch; the structural fields are
+    validated later by :func:`load_checkpoint`.
+    """
+    from .durability.atomic import checksum_matches
+
     try:
-        with os.fdopen(fd, "w", encoding="utf-8") as handle:
-            json.dump(state, handle, ensure_ascii=False)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_name, target)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
+        with open(path, encoding="utf-8") as handle:
+            state = json.load(handle)
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(f"{path}: invalid JSON: {exc}") from exc
+
+    if not isinstance(state, dict):
+        raise CheckpointError(f"{path}: checkpoint is not a JSON object")
+    if state.get("format") != _FORMAT:
+        raise CheckpointError(
+            f"{path}: not a repro checkpoint "
+            f"(format={state.get('format')!r})"
+        )
+    if state.get("version") != _VERSION:
+        raise CheckpointError(
+            f"{path}: unsupported checkpoint version "
+            f"{state.get('version')!r} (expected {_VERSION})"
+        )
+    if checksum_matches(state) is False:
+        raise CheckpointError(
+            f"{path}: checksum mismatch — the file is corrupt or was "
+            f"edited by hand (remove the 'checksum' field to force a "
+            f"load)"
+        )
+    return state
 
 
 def load_checkpoint(
@@ -130,91 +207,94 @@ def load_checkpoint(
     checkpoint (statistics are rebuilt from the documents, so the two
     storage layouts restore to equal state; pre-backend checkpoints
     default to ``"dict"``). Returns ``(clusterer, vocabulary)``.
+
+    The payload checksum (when present) is verified, and every
+    assignment entry is validated against the checkpointed ``k`` —
+    a cluster id outside ``0..k-1`` raises :class:`CheckpointError`
+    instead of warm-starting into undefined behaviour. Assignments for
+    documents that expire on restore are dropped and counted on the
+    ambient recorder (``checkpoint.assignments_dropped``).
     """
-    try:
-        with open(path, "r", encoding="utf-8") as handle:
-            state = json.load(handle)
-    except json.JSONDecodeError as exc:
-        raise CheckpointError(f"{path}: invalid JSON: {exc}") from exc
+    recorder = resolve(None)
+    with Span(recorder, "checkpoint.load") as span:
+        state = read_checkpoint_state(path)
+        for field in ("model", "kmeans", "now", "documents", "assignment"):
+            if field not in state:
+                raise CheckpointError(f"{path}: missing field {field!r}")
 
-    if state.get("format") != _FORMAT:
-        raise CheckpointError(
-            f"{path}: not a repro checkpoint "
-            f"(format={state.get('format')!r})"
-        )
-    if state.get("version") != _VERSION:
-        raise CheckpointError(
-            f"{path}: unsupported checkpoint version "
-            f"{state.get('version')!r} (expected {_VERSION})"
-        )
-    for field in ("model", "kmeans", "now", "documents", "assignment"):
-        if field not in state:
-            raise CheckpointError(f"{path}: missing field {field!r}")
+        if vocabulary is None:
+            vocabulary = Vocabulary()
 
-    if vocabulary is None:
-        vocabulary = Vocabulary()
+        try:
+            model = ForgettingModel(
+                half_life=state["model"]["half_life"],
+                life_span=state["model"]["life_span"],
+            )
+            kmeans_state = state["kmeans"]
+            clusterer = IncrementalClusterer(
+                model,
+                k=kmeans_state["k"],
+                delta=kmeans_state["delta"],
+                max_iterations=kmeans_state["max_iterations"],
+                seed=kmeans_state["seed"],
+                engine=kmeans_state["engine"],
+                statistics_backend=(
+                    statistics_backend
+                    if statistics_backend is not None
+                    else state.get("statistics_backend", "dict")
+                ),
+                warm_start=state.get("warm_start", True),
+                rescue_outliers=kmeans_state.get("rescue_outliers", True),
+            )
+            criterion = kmeans_state.get("criterion", "g")
+            if criterion not in ("g", "avg"):
+                raise CheckpointError(
+                    f"{path}: unknown criterion {criterion!r} in checkpoint"
+                )
+            clusterer.kmeans.criterion = criterion
 
-    try:
-        model = ForgettingModel(
-            half_life=state["model"]["half_life"],
-            life_span=state["model"]["life_span"],
-        )
-        kmeans_state = state["kmeans"]
-        clusterer = IncrementalClusterer(
-            model,
-            k=kmeans_state["k"],
-            delta=kmeans_state["delta"],
-            max_iterations=kmeans_state["max_iterations"],
-            seed=kmeans_state["seed"],
-            engine=kmeans_state["engine"],
-            statistics_backend=(
-                statistics_backend
-                if statistics_backend is not None
-                else state.get("statistics_backend", "dict")
-            ),
-            warm_start=state.get("warm_start", True),
-            rescue_outliers=kmeans_state.get("rescue_outliers", True),
-        )
-        criterion = kmeans_state.get("criterion", "g")
-        if criterion not in ("g", "avg"):
+            documents = [
+                record_to_document(record, vocabulary)
+                for record in state["documents"]
+            ]
+            assignment = {
+                str(doc_id): int(cluster_id)
+                for doc_id, cluster_id in state["assignment"].items()
+            }
+        except (KeyError, TypeError, ValueError) as exc:
             raise CheckpointError(
-                f"{path}: unknown criterion {criterion!r} in checkpoint"
-            )
-        clusterer.kmeans.criterion = criterion
+                f"{path}: malformed checkpoint ({exc!r})"
+            ) from exc
 
-        documents = [
-            Document(
-                doc_id=record["doc_id"],
-                timestamp=float(record["timestamp"]),
-                term_counts={
-                    vocabulary.add(term): int(count)
-                    for term, count in record["terms"].items()
-                },
-                topic_id=record.get("topic_id"),
-                source=record.get("source"),
-                title=record.get("title"),
-            )
-            for record in state["documents"]
-        ]
-    except (KeyError, TypeError) as exc:
-        raise CheckpointError(
-            f"{path}: malformed checkpoint ({exc!r})"
-        ) from exc
-    if state["now"] is None:
-        # checkpoint of a clusterer that never processed a batch
-        if documents:
-            raise CheckpointError(
-                f"{path}: documents present but clock is null"
-            )
-        return clusterer, vocabulary
-    now = float(state["now"])
-    clusterer.statistics.observe(documents, at_time=now)
-    clusterer.statistics.expire()
+        k = clusterer.kmeans.k
+        for doc_id, cluster_id in assignment.items():
+            if not 0 <= cluster_id < k:
+                raise CheckpointError(
+                    f"{path}: assignment for document {doc_id!r} names "
+                    f"cluster {cluster_id}, outside 0..{k - 1}"
+                )
 
-    active = set(clusterer.statistics.doc_ids())
-    clusterer._assignment = {
-        doc_id: int(cluster_id)
-        for doc_id, cluster_id in state["assignment"].items()
-        if doc_id in active
-    }
+        if state["now"] is None:
+            # checkpoint of a clusterer that never processed a batch
+            if documents:
+                raise CheckpointError(
+                    f"{path}: documents present but clock is null"
+                )
+            span.tags["docs"] = 0
+            return clusterer, vocabulary
+        now = float(state["now"])
+        clusterer.statistics.observe(documents, at_time=now)
+        clusterer.statistics.expire()
+
+        active = set(clusterer.statistics.doc_ids())
+        kept = {
+            doc_id: cluster_id
+            for doc_id, cluster_id in assignment.items()
+            if doc_id in active
+        }
+        dropped = len(assignment) - len(kept)
+        if dropped and recorder.enabled:
+            recorder.counter("checkpoint.assignments_dropped", dropped)
+        clusterer._assignment = kept
+        span.tags["docs"] = len(active)
     return clusterer, vocabulary

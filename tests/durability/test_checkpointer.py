@@ -1,0 +1,159 @@
+"""Periodic checkpointing cadence and commit-hook integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Checkpointer
+from repro.durability.journal import read_journal
+from repro.exceptions import ConfigurationError
+from repro.persistence import read_checkpoint_state
+
+from tests.durability.conftest import (
+    assert_state_matches,
+    build_batches,
+    fingerprint,
+    make_clusterer,
+    reference_states,
+)
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return build_batches(days=6)
+
+
+def checkpoint_sequence(path):
+    return read_checkpoint_state(path).get("sequence")
+
+
+class TestCadence:
+    def test_interval_must_be_positive(self, stream, tmp_path):
+        vocabulary, _ = stream
+        with pytest.raises(ConfigurationError, match=">= 1"):
+            Checkpointer(
+                make_clusterer(), vocabulary,
+                tmp_path / "state.json", every=0,
+            )
+
+    def test_construction_anchors_pair_on_disk(self, stream, tmp_path):
+        vocabulary, _ = stream
+        path = tmp_path / "state.json"
+        checkpointer = Checkpointer(make_clusterer(), vocabulary, path)
+        assert checkpoint_sequence(path) == 0
+        contents = read_journal(checkpointer.journal_path)
+        assert contents.base_sequence == 0
+        assert contents.entries == ()
+        checkpointer.close()
+
+    def test_every_window_by_default(self, stream, tmp_path):
+        vocabulary, batches = stream
+        path = tmp_path / "state.json"
+        clusterer = make_clusterer()
+        checkpointer = Checkpointer(clusterer, vocabulary, path)
+        clusterer.add_commit_hook(checkpointer.record_batch)
+        for n, (at_time, batch) in enumerate(batches, start=1):
+            clusterer.process_batch(batch, at_time=at_time)
+            assert checkpoint_sequence(path) == n
+            assert read_journal(checkpointer.journal_path).entries == ()
+        checkpointer.close()
+
+    def test_every_n_checkpoints_on_multiples(self, stream, tmp_path):
+        vocabulary, batches = stream
+        path = tmp_path / "state.json"
+        clusterer = make_clusterer()
+        checkpointer = Checkpointer(
+            clusterer, vocabulary, path, every=3
+        )
+        clusterer.add_commit_hook(checkpointer.record_batch)
+        for n, (at_time, batch) in enumerate(batches, start=1):
+            clusterer.process_batch(batch, at_time=at_time)
+            due = (n // 3) * 3
+            assert checkpoint_sequence(path) == due
+            journal = read_journal(checkpointer.journal_path)
+            assert journal.base_sequence == due
+            assert len(journal.entries) == n - due
+        checkpointer.close()
+
+    def test_close_flushes_pending_batches(self, stream, tmp_path):
+        vocabulary, batches = stream
+        path = tmp_path / "state.json"
+        clusterer = make_clusterer()
+        with Checkpointer(
+            clusterer, vocabulary, path, every=100
+        ) as checkpointer:
+            clusterer.add_commit_hook(checkpointer.record_batch)
+            for at_time, batch in batches:
+                clusterer.process_batch(batch, at_time=at_time)
+            assert checkpoint_sequence(path) == 0
+        assert checkpoint_sequence(path) == len(batches)
+        assert checkpointer.journal_path.exists()
+
+    def test_close_twice_is_idempotent(self, stream, tmp_path):
+        vocabulary, _ = stream
+        checkpointer = Checkpointer(
+            make_clusterer(), vocabulary, tmp_path / "state.json"
+        )
+        checkpointer.close()
+        checkpointer.close()
+
+    def test_final_checkpoint_matches_live_state(self, stream, tmp_path):
+        vocabulary, batches = stream
+        clusterer = make_clusterer()
+        with Checkpointer(
+            clusterer, vocabulary, tmp_path / "state.json", every=4
+        ) as checkpointer:
+            clusterer.add_commit_hook(checkpointer.record_batch)
+            for at_time, batch in batches:
+                clusterer.process_batch(batch, at_time=at_time)
+        references = reference_states(batches)
+        assert fingerprint(clusterer) == references[len(batches)]
+        assert checkpoint_sequence(checkpointer.checkpoint_path) == len(
+            batches
+        )
+
+
+class TestCommitHookContract:
+    def test_rejected_batch_is_never_journaled(self, stream, tmp_path):
+        """Transactional ingestion: a batch that fails validation must
+        not reach the journal — replaying it would poison recovery."""
+        vocabulary, batches = stream
+        clusterer = make_clusterer()
+        checkpointer = Checkpointer(
+            clusterer, vocabulary, tmp_path / "state.json", every=100
+        )
+        clusterer.add_commit_hook(checkpointer.record_batch)
+        at_time, batch = batches[0]
+        clusterer.process_batch(batch, at_time=at_time)
+        with pytest.raises(ConfigurationError):
+            clusterer.process_batch(batch, at_time=at_time + 1.0)
+        contents = read_journal(checkpointer.journal_path)
+        assert [e.sequence for e in contents.entries] == [1]
+        assert checkpointer.sequence == 1
+        checkpointer.close()
+
+    def test_journaled_state_recovers_after_rejection(
+        self, stream, tmp_path
+    ):
+        """After a rejected batch, the journal still reconstructs the
+        committed prefix exactly."""
+        from repro import recover
+
+        vocabulary, batches = stream
+        clusterer = make_clusterer()
+        path = tmp_path / "state.json"
+        checkpointer = Checkpointer(
+            clusterer, vocabulary, path, every=100
+        )
+        clusterer.add_commit_hook(checkpointer.record_batch)
+        for at_time, batch in batches[:2]:
+            clusterer.process_batch(batch, at_time=at_time)
+        with pytest.raises(ConfigurationError):
+            clusterer.process_batch(
+                batches[0][1], at_time=batches[1][0] + 1.0
+            )
+        # crash here: no close(), recover from disk
+        recovery = recover(path)
+        assert recovery.sequence == 2
+        references = reference_states(batches)
+        assert_state_matches(recovery.clusterer, references[2])

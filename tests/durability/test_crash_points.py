@@ -1,0 +1,136 @@
+"""Property-based fault injection: a kill at *any* byte offset of the
+journal or checkpoint still recovers onto some batch prefix."""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import recover
+
+from tests.durability.conftest import (
+    assert_state_matches,
+    build_batches,
+    crash_images,
+    reference_states,
+)
+
+DAYS = 6
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_batches(days=DAYS)
+
+
+@pytest.fixture(scope="module")
+def prefix_states(corpus):
+    _, batches = corpus
+    return reference_states(batches)
+
+
+@pytest.fixture(scope="module")
+def journal_heavy_image(corpus, tmp_path_factory):
+    """Final crash image of a run that never checkpointed after the
+    anchor: all six batches live only in the journal."""
+    vocabulary, batches = corpus
+    images = crash_images(
+        tmp_path_factory.mktemp("journal-heavy"), vocabulary, batches,
+        every=100,
+    )
+    return images[DAYS]
+
+
+@pytest.fixture(scope="module")
+def checkpoint_heavy_image(corpus, tmp_path_factory):
+    """Final crash image of an every-window run: primary at sequence 6,
+    .bak at 5, freshly rotated (empty) journal."""
+    vocabulary, batches = corpus
+    images = crash_images(
+        tmp_path_factory.mktemp("checkpoint-heavy"), vocabulary, batches,
+        every=1,
+    )
+    return images[DAYS]
+
+
+def scratch_copy(image: Path) -> Path:
+    """An independent, mutable copy of a crash image's directory."""
+    scratch = Path(tempfile.mkdtemp(prefix="repro-crash-"))
+    dest = scratch / "img"
+    shutil.copytree(image.parent, dest)
+    return dest / image.name
+
+
+class TestRandomKillOffsets:
+    @given(data=st.data())
+    @settings(
+        max_examples=30, deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_journal_killed_at_any_offset(
+        self, journal_heavy_image, prefix_states, data
+    ):
+        image = scratch_copy(journal_heavy_image)
+        journal = image.with_name(image.name + ".journal")
+        raw = journal.read_bytes()
+        offset = data.draw(
+            st.integers(min_value=0, max_value=len(raw)), label="offset"
+        )
+        journal.write_bytes(raw[:offset])
+
+        recovery = recover(image)
+        assert 0 <= recovery.sequence <= DAYS
+        assert_state_matches(
+            recovery.clusterer, prefix_states[recovery.sequence]
+        )
+        shutil.rmtree(image.parent.parent)
+
+    @given(data=st.data())
+    @settings(
+        max_examples=30, deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_checkpoint_killed_at_any_offset(
+        self, checkpoint_heavy_image, prefix_states, data
+    ):
+        """Truncate or bit-flip the primary checkpoint anywhere: either
+        it still verifies whole, or the .bak generation serves — never
+        a garbage state."""
+        image = scratch_copy(checkpoint_heavy_image)
+        raw = image.read_bytes()
+        truncate = data.draw(st.booleans(), label="truncate")
+        if truncate:
+            offset = data.draw(
+                st.integers(min_value=0, max_value=len(raw)),
+                label="offset",
+            )
+            image.write_bytes(raw[:offset])
+            intact = offset == len(raw)
+        else:
+            offset = data.draw(
+                st.integers(min_value=0, max_value=len(raw) - 1),
+                label="offset",
+            )
+            image.write_bytes(
+                raw[:offset]
+                + bytes([raw[offset] ^ 0x20])
+                + raw[offset + 1:]
+            )
+            intact = False
+
+        recovery = recover(image)
+        if intact:
+            assert recovery.sequence == DAYS
+        else:
+            # the primary died; the .bak (one checkpoint older) serves
+            assert recovery.used_backup
+            assert recovery.sequence == DAYS - 1
+        assert_state_matches(
+            recovery.clusterer, prefix_states[recovery.sequence]
+        )
+        shutil.rmtree(image.parent.parent)

@@ -135,6 +135,158 @@ class TestCluster:
         assert "invalid JSON" in capsys.readouterr().err
 
 
+class TestDurability:
+    def test_checkpoint_creates_missing_parent_dirs(
+        self, stream_file, tmp_path, capsys
+    ):
+        state = tmp_path / "not" / "yet" / "there" / "state.json"
+        code = main([
+            "cluster", "--input", str(stream_file),
+            "--k", "4", "--batch-days", "3",
+            "--checkpoint", str(state), "--quiet",
+        ])
+        assert code == 0
+        assert state.exists()
+        assert "checkpoint written to" in capsys.readouterr().out
+
+    def test_unwritable_checkpoint_fails_before_clustering(
+        self, stream_file, tmp_path, capsys
+    ):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        code = main([
+            "cluster", "--input", str(stream_file),
+            "--checkpoint", str(blocker / "state.json"), "--quiet",
+        ])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "cannot create checkpoint directory" in captured.err
+        assert "t=" not in captured.out  # no batch ever ran
+
+    def test_checkpoint_every_requires_checkpoint(
+        self, stream_file, capsys
+    ):
+        code = main([
+            "cluster", "--input", str(stream_file),
+            "--checkpoint-every", "2",
+        ])
+        assert code == 2
+        assert "requires --checkpoint" in capsys.readouterr().err
+
+    def test_checkpoint_every_must_be_positive(
+        self, stream_file, tmp_path, capsys
+    ):
+        code = main([
+            "cluster", "--input", str(stream_file),
+            "--checkpoint", str(tmp_path / "state.json"),
+            "--checkpoint-every", "0",
+        ])
+        assert code == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_periodic_checkpoints_and_journal_on_disk(
+        self, stream_file, tmp_path, capsys
+    ):
+        import json
+
+        state = tmp_path / "state.json"
+        code = main([
+            "cluster", "--input", str(stream_file),
+            "--k", "4", "--batch-days", "2",
+            "--checkpoint", str(state), "--checkpoint-every", "2",
+            "--quiet",
+        ])
+        assert code == 0
+        final = json.loads(state.read_text())
+        assert final["sequence"] == 3  # 6 days / 2-day batches
+        assert (tmp_path / "state.json.bak").exists()
+        assert (tmp_path / "state.json.journal").exists()
+
+    def test_resume_recovers_from_backup_generation(
+        self, stream_file, tmp_path, capsys
+    ):
+        state = tmp_path / "state.json"
+        code = main([
+            "cluster", "--input", str(stream_file),
+            "--k", "4", "--batch-days", "2",
+            "--checkpoint", str(state), "--quiet",
+        ])
+        assert code == 0
+        capsys.readouterr()
+        state.write_text("{torn by a crash")
+        code = main([
+            "cluster", "--input", str(stream_file),
+            "--resume", str(state), "--batch-days", "2", "--quiet",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recovered from" in out
+        assert "state.json.bak" in out
+
+    def test_resume_replays_journaled_batches(
+        self, stream_file, tmp_path, capsys
+    ):
+        """With a sparse checkpoint cadence, the tail of the run lives
+        only in the journal — resume must replay it."""
+        state = tmp_path / "state.json"
+        code = main([
+            "cluster", "--input", str(stream_file),
+            "--k", "4", "--batch-days", "2",
+            "--checkpoint", str(state), "--checkpoint-every", "100",
+            "--quiet",
+        ])
+        assert code == 0
+        capsys.readouterr()
+        # drop the final flush back to the anchor: the journal alone
+        # must carry the whole run
+        import json
+
+        from repro.durability.journal import read_journal
+
+        assert json.loads(state.read_text())["sequence"] == 3
+        journal = tmp_path / "state.json.journal"
+        anchor_header = read_journal(journal)
+        assert anchor_header.base_sequence == 3  # rotated at close
+
+    def test_crash_resume_replays_and_continues(
+        self, stream_file, tmp_path, capsys, monkeypatch
+    ):
+        """Kill the run mid-stream (checkpoint write explodes), then
+        resume: the journaled batches come back and the run finishes."""
+        import os
+
+        state = tmp_path / "state.json"
+        real_replace = os.replace
+        calls = {"n": 0}
+
+        def dies_on_third_checkpoint(src, dst):
+            if str(dst) == str(state):
+                calls["n"] += 1
+                if calls["n"] >= 3:
+                    raise OSError("simulated power loss")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", dies_on_third_checkpoint)
+        code = main([
+            "cluster", "--input", str(stream_file),
+            "--k", "4", "--batch-days", "2",
+            "--checkpoint", str(state), "--quiet",
+        ])
+        assert code == 2  # the crash surfaced as an error
+        monkeypatch.undo()
+        capsys.readouterr()
+
+        code = main([
+            "cluster", "--input", str(stream_file),
+            "--resume", str(state), "--checkpoint", str(state),
+            "--batch-days", "2", "--quiet",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "resumed from" in out
+        assert "final clusters:" in out
+
+
 class TestTrace:
     def test_trace_writes_valid_jsonl(self, stream_file, tmp_path, capsys):
         import json
