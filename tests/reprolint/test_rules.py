@@ -207,6 +207,88 @@ def test_rep005_suppression_comment():
     assert codes(NEUTRAL_PATH, source) == []
 
 
+def test_rep004_covers_durability_entry_points():
+    # persistence and recovery are listed entry points now: a spanless
+    # recover() must fire just like a spanless process_batch()
+    source = "def recover(path):\n    return path\n"
+    violations = lint_source("src/repro/durability/recovery.py", source)
+    assert any(v.code == "REP004" for v in violations)
+    spanned = (
+        "def recover(path):\n"
+        "    with Span(recorder, 'durability.recover'):\n"
+        "        return path\n"
+    )
+    violations = lint_source("src/repro/durability/recovery.py", spanned)
+    assert [v for v in violations if v.code == "REP004"] == []
+
+
+# -- REP006: checkpoint/journal writes must be atomic ----------------------
+
+DURABILITY_PATH = "src/repro/durability/atomic.py"
+
+
+def test_rep006_fires_on_open_w_of_checkpoint_path():
+    source = (
+        "import json\n"
+        "with open(checkpoint_path, 'w') as handle:\n"
+        "    json.dump(state, handle)\n"
+    )
+    assert "REP006" in codes(NEUTRAL_PATH, source)
+
+
+def test_rep006_fires_on_mode_keyword_and_append():
+    assert "REP006" in codes(
+        NEUTRAL_PATH, "h = open(journal_file, mode='a')\n"
+    )
+
+
+def test_rep006_fires_on_pathlib_open_and_write_text():
+    assert "REP006" in codes(
+        NEUTRAL_PATH, "h = self.checkpoint_path.open('w')\n"
+    )
+    assert "REP006" in codes(
+        NEUTRAL_PATH, "state.journal.write_text(payload)\n"
+    )
+
+
+def test_rep006_fires_inside_checkpoint_named_function():
+    # the path variable gives nothing away, but the function name does
+    source = (
+        "def save_checkpoint(target):\n"
+        "    with open(target, 'w') as handle:\n"
+        "        handle.write(payload)\n"
+    )
+    assert "REP006" in codes(NEUTRAL_PATH, source)
+
+
+def test_rep006_fires_on_string_literal_path():
+    source = "h = open('state.checkpoint.json', 'w')\n"
+    assert "REP006" in codes(NEUTRAL_PATH, source)
+
+
+def test_rep006_allows_reads_and_unrelated_writes():
+    source = (
+        "a = open(checkpoint_path)\n"
+        "b = open(checkpoint_path, 'r')\n"
+        "c = open(report_path, 'w')\n"
+        "d = output.write_text(payload)\n"
+    )
+    assert codes(NEUTRAL_PATH, source) == []
+
+
+def test_rep006_allows_durability_package_and_tests():
+    source = "h = open(checkpoint_path, 'w')\n"
+    assert codes(DURABILITY_PATH, source) == []
+    assert codes(TEST_PATH, source) == []
+
+
+def test_rep006_suppression_comment():
+    source = (
+        "h = open(checkpoint_path, 'w')  # reprolint: disable=REP006\n"
+    )
+    assert codes(NEUTRAL_PATH, source) == []
+
+
 # -- engine mechanics ------------------------------------------------------
 
 def test_syntax_error_reports_rep000():

@@ -1,4 +1,4 @@
-"""The REP001-REP005 rules.
+"""The REP001-REP006 rules.
 
 Every rule documents the paper invariant it protects in ``rationale``
 (surfaced by ``--list-rules`` and ``docs/CONTRIBUTING.md``). Rules are
@@ -261,6 +261,9 @@ _SPAN_ENTRY_POINTS: Tuple[Tuple[str, str], ...] = (
     ("repro/forgetting/statistics.py", "CorpusStatistics.expire"),
     ("repro/forgetting/statistics.py", "CorpusStatistics.from_scratch"),
     ("repro/text/pipeline.py", "TextPipeline.batch_term_frequencies"),
+    ("repro/persistence.py", "save_checkpoint"),
+    ("repro/persistence.py", "load_checkpoint"),
+    ("repro/durability/recovery.py", "recover"),
 )
 
 
@@ -421,10 +424,154 @@ class StatisticsEncapsulationRule(Rule):
                     )
 
 
+# ---------------------------------------------------------------------------
+# REP006 — checkpoint/journal files are written atomically
+# ---------------------------------------------------------------------------
+
+#: The only package allowed to open durable state files for writing.
+_DURABILITY_PACKAGE = "repro/durability"
+
+#: Substrings marking an expression as a durable-state path.
+_DURABLE_MARKERS = ("checkpoint", "journal")
+
+#: Writing open() modes ("r", "rb", "rt" stay allowed).
+_WRITE_MODE_CHARS = frozenset("wax+")
+
+
+def _mentions_durable_state(node: ast.AST) -> bool:
+    """True when any identifier/attribute/literal inside ``node`` names
+    a checkpoint or journal."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            text = sub.id
+        elif isinstance(sub, ast.Attribute):
+            text = sub.attr
+        elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            text = sub.value
+        else:
+            continue
+        lowered = text.lower()
+        if any(marker in lowered for marker in _DURABLE_MARKERS):
+            return True
+    return False
+
+
+def _open_write_mode(node: ast.Call) -> Optional[str]:
+    """The mode string when ``node`` is an ``open()``-style call that
+    writes; ``None`` for reads or non-open calls."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        if func.id != "open":
+            return None
+        path_index = 0
+    elif isinstance(func, ast.Attribute) and func.attr == "open":
+        path_index = -1  # pathlib-style: the path is the receiver
+    else:
+        return None
+    mode: Optional[str] = None
+    positional = node.args[path_index + 1:] if path_index >= 0 else node.args
+    if positional and isinstance(positional[0], ast.Constant) \
+            and isinstance(positional[0].value, str):
+        mode = positional[0].value
+    for keyword in node.keywords:
+        if keyword.arg == "mode" and isinstance(keyword.value, ast.Constant) \
+                and isinstance(keyword.value.value, str):
+            mode = keyword.value.value
+    if mode is None:
+        return None
+    if _WRITE_MODE_CHARS.intersection(mode):
+        return mode
+    return None
+
+
+class AtomicCheckpointWritesRule(Rule):
+    code = "REP006"
+    name = "atomic-checkpoint-writes"
+    rationale = (
+        "The crash-safety guarantee (docs/DURABILITY.md) holds because "
+        "every checkpoint and journal byte reaches disk through "
+        "repro.durability.atomic: temp file + fsync + os.replace, .bak "
+        "rotation, payload checksum. A plain `open(path, 'w')` + "
+        "json.dump to a checkpoint/journal path truncates the previous "
+        "good state *before* the new one exists — one crash in that "
+        "window and recovery has nothing to load; this exact bug "
+        "motivated the durability PR. The rule flags write-mode "
+        "open()/Path.open()/write_text() calls whose path expression "
+        "or enclosing function names a checkpoint or journal, outside "
+        "repro.durability. Tests and benchmarks are exempt: they "
+        "corrupt state files on purpose."
+    )
+
+    def check(self, context: FileContext) -> Iterator[Violation]:
+        if context.is_test_code or context.in_path(_DURABILITY_PACKAGE):
+            return
+        self._function_stack: List[str] = []
+        yield from self._visit(context, context.tree)
+
+    def _visit(
+        self, context: FileContext, node: ast.AST
+    ) -> Iterator[Violation]:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._function_stack.append(node.name)
+            for child in ast.iter_child_nodes(node):
+                yield from self._visit(context, child)
+            self._function_stack.pop()
+            return
+        if isinstance(node, ast.Call):
+            yield from self._check_call(context, node)
+        for child in ast.iter_child_nodes(node):
+            yield from self._visit(context, child)
+
+    def _in_durable_function(self) -> bool:
+        return any(
+            marker in name.lower()
+            for name in self._function_stack
+            for marker in _DURABLE_MARKERS
+        )
+
+    def _check_call(
+        self, context: FileContext, node: ast.Call
+    ) -> Iterator[Violation]:
+        func = node.func
+        # foo.write_text(...) on a checkpoint/journal-named receiver
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "write_text"
+            and (
+                _mentions_durable_state(func.value)
+                or self._in_durable_function()
+            )
+        ):
+            yield self.violation(
+                context, node,
+                "non-atomic write_text() to a checkpoint/journal path; "
+                "route it through repro.durability.atomic",
+            )
+            return
+        mode = _open_write_mode(node)
+        if mode is None:
+            return
+        if isinstance(func, ast.Attribute):
+            durable_path = _mentions_durable_state(func.value)
+        else:
+            durable_path = bool(node.args) and _mentions_durable_state(
+                node.args[0]
+            )
+        if durable_path or self._in_durable_function():
+            yield self.violation(
+                context, node,
+                f"non-atomic open(..., {mode!r}) of a checkpoint/"
+                f"journal path; route the write through "
+                f"repro.durability.atomic (temp file + fsync + "
+                f"os.replace)",
+            )
+
+
 ALL_RULES: Sequence[Rule] = (
     WallClockRule(),
     FloatEqualityRule(),
     RegistryOnlyRule(),
     SpanRequiredRule(),
     StatisticsEncapsulationRule(),
+    AtomicCheckpointWritesRule(),
 )
