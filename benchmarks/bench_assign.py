@@ -1,0 +1,194 @@
+"""Assignment hot path — exact candidate pruning vs the dense sweep.
+
+The pruned engine exists for one regime: large K × large vocabulary,
+where almost every cluster shares no terms with a given document and
+the dense sweep multiplies zeros for all of them. This module builds
+that regime synthetically — K topical clusters over *disjoint*
+per-topic vocabularies plus a small shared background pool, documents
+warm-started into their topic cluster — and times one steady-state
+``best_gains`` sweep (the Section 4.3 step-1 assignment pass) per
+engine.
+
+The sweep decisions are asserted identical between the pruned engine
+and the exact dense path, document for document, inside the benchmark
+itself; in the full run the ≥5× speedup floor of the pruned engine is
+asserted too. Results land in
+``benchmarks/reports/BENCH_assign.json``. ``REPRO_BENCH_QUICK=1``
+shrinks the workload to a crash/parity smoke for CI.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import random
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.engines import resolve_engine
+from repro.experiments import render_table
+from repro.vectors.sparse import SparseVector
+
+BENCH_ASSIGN_PATH = Path(__file__).parent / "reports" / "BENCH_assign.json"
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+
+SEED = 7
+K = 32 if QUICK else 256
+N_DOCS = 1_200 if QUICK else 100_000
+OWN_TERMS_PER_TOPIC = 120 if QUICK else 1_500
+BACKGROUND_TERMS = 60 if QUICK else 500
+TERMS_PER_DOC = 25 if QUICK else 40
+BACKGROUND_PER_DOC = 4
+MIN_SPEEDUP = 5.0
+
+
+def _engine_list():
+    engines = ["dense", "pruned"]
+    try:
+        import scipy.sparse  # noqa: F401
+        engines.append("matrix")
+    except ImportError:  # pragma: no cover - env without scipy
+        pass
+    return engines
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """(vectors, topic_of) for the disjoint-vocabulary stream.
+
+    Topic ``t`` owns terms ``[B + t·O, B + (t+1)·O)`` exclusively;
+    terms ``[0, B)`` are the shared background pool every document
+    samples a few of. Non-negative float weights stand in for the
+    Eq. 12-16 novelty-weighted tf·idf values.
+    """
+    rng = random.Random(SEED)
+    vectors = {}
+    topic_of = {}
+    for i in range(N_DOCS):
+        topic = i % K
+        base = BACKGROUND_TERMS + topic * OWN_TERMS_PER_TOPIC
+        items = {}
+        for _ in range(TERMS_PER_DOC):
+            term = base + rng.randrange(OWN_TERMS_PER_TOPIC)
+            items[term] = items.get(term, 0.0) + 0.1 + rng.random()
+        for _ in range(BACKGROUND_PER_DOC):
+            term = rng.randrange(BACKGROUND_TERMS)
+            items[term] = items.get(term, 0.0) + 0.05 * rng.random()
+        doc_id = f"d{i:06d}"
+        vectors[doc_id] = SparseVector(items)
+        topic_of[doc_id] = topic
+    return vectors, topic_of
+
+
+def _build(engine_name, vectors, topic_of):
+    """Engine warm-started with every document in its topic cluster."""
+    engine = resolve_engine(engine_name)(K, vectors, "g")
+    for doc_id, topic in topic_of.items():
+        engine.add(topic, doc_id)
+    return engine
+
+
+def _time_sweep(engine, doc_ids):
+    start = time.perf_counter()
+    decisions = engine.best_gains(doc_ids)
+    return time.perf_counter() - start, decisions
+
+
+def bench_assignment_pruning(workload, reporter):
+    vectors, topic_of = workload
+    doc_ids = list(vectors)
+    engines = _engine_list()
+    seconds = {}
+    decisions = {}
+    prune_stats = None
+    for name in engines:
+        engine = _build(name, vectors, topic_of)
+        if name == "matrix":
+            # settle the Gram-block cache: its steady state, like the
+            # others' first sweep, is the repeated-pass regime
+            engine.best_gains(doc_ids)
+        seconds[name], decisions[name] = _time_sweep(engine, doc_ids)
+        if name == "pruned":
+            prune_stats = {
+                "candidates_per_doc":
+                    engine._stat_candidates / engine._stat_probes,
+                "scored_per_doc":
+                    engine._stat_scored / engine._stat_probes,
+            }
+
+    # the tentpole invariant, checked on the benchmark workload itself:
+    # pruning is exact — same winner for every document, same gain
+    reference = decisions["dense"]
+    for name in engines:
+        for doc_id, ours, theirs in zip(
+            doc_ids, decisions[name], reference
+        ):
+            assert ours[0] == theirs[0], (name, doc_id)
+            assert math.isclose(
+                ours[1], theirs[1], rel_tol=1e-9, abs_tol=1e-12
+            ), (name, doc_id)
+
+    speedup = {
+        name: seconds["dense"] / seconds[name] for name in engines
+    }
+    if not QUICK:
+        assert speedup["pruned"] >= MIN_SPEEDUP, (
+            f"pruned sweep only {speedup['pruned']:.2f}x vs dense "
+            f"(floor {MIN_SPEEDUP}x)"
+        )
+
+    rows = [
+        [
+            name,
+            f"{seconds[name]:.3f}",
+            f"{seconds[name] / len(doc_ids) * 1e6:.1f}",
+            f"{speedup[name]:.2f}x",
+        ]
+        for name in engines
+    ]
+    reporter.add(
+        "assign_pruning",
+        render_table(
+            ["engine", "sweep s", "µs/doc", "vs dense"],
+            rows,
+            title=(
+                f"Steady-state assignment sweep ({len(doc_ids)} docs, "
+                f"K={K}, {BACKGROUND_TERMS + K * OWN_TERMS_PER_TOPIC} "
+                f"terms; identical decisions asserted)"
+            ),
+        ),
+    )
+
+    point = {
+        "schema": 1,
+        "quick": QUICK,
+        "workload": {
+            "documents": len(doc_ids),
+            "k": K,
+            "vocabulary": BACKGROUND_TERMS + K * OWN_TERMS_PER_TOPIC,
+            "background_terms": BACKGROUND_TERMS,
+            "terms_per_doc": TERMS_PER_DOC + BACKGROUND_PER_DOC,
+            "seed": SEED,
+        },
+        "engines": {
+            name: {
+                "pass_seconds": seconds[name],
+                "per_doc_us": seconds[name] / len(doc_ids) * 1e6,
+                "pass_speedup_vs_dense": speedup[name],
+            }
+            for name in engines
+        },
+        "pruning": prune_stats,
+        "parity": {
+            "decisions_identical": True,
+            "gain_rel_tol": 1e-9,
+        },
+    }
+    BENCH_ASSIGN_PATH.parent.mkdir(exist_ok=True)
+    BENCH_ASSIGN_PATH.write_text(
+        json.dumps(point, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )

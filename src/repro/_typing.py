@@ -19,3 +19,6 @@ FloatArray = npt.NDArray[np.float64]
 #: Term ids, row indices, CSR indptr: any signed integer dtype (np.intp
 #: from nonzero()/argsort() and explicit int64 columns both satisfy it).
 IntArray = npt.NDArray[np.signedinteger[Any]]
+
+#: Masks (empty-document flags, candidate membership).
+BoolArray = npt.NDArray[np.bool_]

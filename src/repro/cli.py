@@ -76,7 +76,9 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--engine", choices=sorted(available_engines()),
                          default=None,
                          help="numerical engine for the extended K-means "
-                              "(default: dense; on --resume the "
+                              "(default: dense; 'pruned' is fastest at "
+                              "large K and vocabulary, 'matrix' on "
+                              "mid-size streams; on --resume the "
                               "checkpointed engine unless overridden)")
     cluster.add_argument("--stats-backend",
                          choices=sorted(available_backends()),

@@ -43,7 +43,10 @@ class ClustererConfig:
         randomness per fit).
     ``engine``
         Name of a registered numerical engine
-        (see :mod:`repro.core.engines`).
+        (see :mod:`repro.core.engines`): ``"sparse"``, ``"dense"``
+        (default), ``"matrix"``, or ``"pruned"``. All four are
+        assignment-identical; they differ only in speed and
+        dependencies.
     ``statistics_backend``
         Name of a registered corpus-statistics storage backend
         (see :mod:`repro.forgetting.backends`).

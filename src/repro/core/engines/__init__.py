@@ -15,6 +15,12 @@ protocol, selected by name through a registry:
 ``"matrix"``  CSR document matrix + blockwise sweep matmuls; answers an
               entire assignment pass with matrix products (requires
               scipy). The fastest on stream-scale corpora.
+``"pruned"``  Inverted term→cluster index with exact upper-bound
+              candidate pruning over column-major representatives;
+              skips every cluster that provably cannot win a document
+              before its dot product is taken. Assignment-identical to
+              the exact path; the fastest at large K × large
+              vocabulary (numpy only).
 ============  ==========================================================
 
 Register your own with :func:`register_engine`::
@@ -28,9 +34,10 @@ Register your own with :func:`register_engine`::
     NoveltyKMeans(k=8, engine="mine")
 """
 
-from .base import NO_GAIN, Engine, EngineBase
+from .base import NO_GAIN, Engine, EngineBase, affine_gain_coefficients
 from .dense import DenseEngine
 from .matrix import MatrixEngine
+from .pruned import PrunedEngine
 from .registry import (
     EngineFactory,
     available_engines,
@@ -43,6 +50,7 @@ from .sparse import SparseEngine
 register_engine("sparse", SparseEngine)
 register_engine("dense", DenseEngine)
 register_engine("matrix", MatrixEngine)
+register_engine("pruned", PrunedEngine)
 
 __all__ = [
     "NO_GAIN",
@@ -52,6 +60,8 @@ __all__ = [
     "SparseEngine",
     "DenseEngine",
     "MatrixEngine",
+    "PrunedEngine",
+    "affine_gain_coefficients",
     "register_engine",
     "unregister_engine",
     "available_engines",

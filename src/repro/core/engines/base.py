@@ -38,6 +38,49 @@ from ...vectors.sparse import SparseVector
 NO_GAIN = float("-inf")
 
 
+def affine_gain_coefficients(
+    criterion: str, size: int, crpp: float, ss: float
+) -> Tuple[float, float]:
+    """Coefficients ``(a, b)`` of the affine gain form (Eq. 25-26).
+
+    The what-if-appended gain of any document ``d_q`` against a cluster
+    ``C_p`` is affine in the one quantity that depends on the document,
+    ``cr = cr_sim(C_p, d_q) = c⃗_p · w⃗_q``::
+
+        gain(C_p, d_q) = a_p * cr + b_p
+
+    with, for criterion ``"g"`` (Δ of the ``|C_p|·avg_sim`` term of
+    Eq. 17, ``n = |C_p|``)::
+
+        a = 2/n                  b = -(crpp - ss) / (n(n-1))
+
+    and for criterion ``"avg"`` (Δ of ``avg_sim`` itself, Eq. 24)::
+
+        a = 2/(n(n+1))           b = (crpp-ss)/(n(n+1)) - avg_cur
+
+    where ``crpp = cr_sim(C_p, C_p)`` (Eq. 21-22) and ``ss = ss(C_p)``
+    (Eq. 23), with the ``n ∈ {0, 1}`` degeneracies of Eq. 24 folded in
+    (an empty cluster gains nothing: ``a = b = 0``). Because weighted
+    vectors are non-negative, ``a >= 0`` always — the gain is
+    non-decreasing in ``cr``, which is what makes upper bounds on
+    ``cr`` usable as exact pruning bounds (see
+    :mod:`repro.core.engines.pruned`).
+    """
+    if size <= 0:
+        return 0.0, 0.0
+    if criterion == "g":
+        if size == 1:
+            return 2.0, 0.0
+        return (
+            2.0 / size,
+            -(crpp - ss) / (size * (size - 1)),
+        )
+    diff = crpp - ss
+    denominator = size * (size + 1)
+    avg_cur = diff / (size * (size - 1)) if size > 1 else 0.0
+    return 2.0 / denominator, diff / denominator - avg_cur
+
+
 @runtime_checkable
 class Engine(Protocol):
     """The state backend consumed by the extended K-means loop.

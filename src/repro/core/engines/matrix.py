@@ -40,7 +40,7 @@ import numpy as np
 from ..._typing import FloatArray, IntArray
 from ...exceptions import ConfigurationError
 from ...vectors.sparse import SparseVector
-from .base import NO_GAIN, EngineBase
+from .base import NO_GAIN, EngineBase, affine_gain_coefficients
 
 # typed Any rather than a module so both the ImportError fallback and
 # the attribute accesses below type-check with or without scipy stubs
@@ -146,33 +146,29 @@ class MatrixEngine(EngineBase):
         self._gain_b = np.zeros(k, dtype=np.float64)
         # (rows, Xb, Gb) per block-start row: X never changes within a
         # fit, so block slices and their Gram matrices are reused by
-        # every assignment pass
+        # every assignment pass. LRU-bounded to the number of blocks of
+        # one full sweep — callers that probe shifting doc subsets
+        # (streaming fits, ad-hoc best_gains calls) would otherwise
+        # accumulate one dense Gram block per distinct block start.
         self._block_cache: Dict[int, Tuple[IntArray, Any, FloatArray]] = {}
+        self._block_cache_limit = max(
+            1, -(-max(1, n_docs) // self._block_size)
+        )
 
     # -- gain coefficients ----------------------------------------------
 
     def _refresh_coeffs(self, cluster_id: int) -> None:
         """Rebuild the affine gain coefficients of one cluster.
 
-        criterion "g":  Δ(|C_p|·avg_sim) = (2/n)·cr - (crpp-ss)/(n(n-1))
-        criterion "avg": Δavg_sim = 2cr/(n(n+1)) + (crpp-ss)/(n(n+1)) - avg_cur
-        with the n∈{0,1} degeneracies of Eq. 24 folded in.
+        See :func:`~repro.core.engines.base.affine_gain_coefficients`
+        for the ``gain = a·cr + b`` derivation (Eq. 25-26).
         """
-        n = self._sizes[cluster_id]
-        if n <= 0:
-            a = b = 0.0
-        elif self._criterion == "g":
-            if n == 1:
-                a, b = 2.0, 0.0
-            else:
-                a = 2.0 / n
-                b = -(self._crpp[cluster_id] - self._ss[cluster_id]) \
-                    / (n * (n - 1))
-        else:
-            diff = self._crpp[cluster_id] - self._ss[cluster_id]
-            a = 2.0 / (n * (n + 1))
-            avg_cur = diff / (n * (n - 1)) if n > 1 else 0.0
-            b = diff / (n * (n + 1)) - avg_cur
+        a, b = affine_gain_coefficients(
+            self._criterion,
+            self._sizes[cluster_id],
+            self._crpp[cluster_id],
+            self._ss[cluster_id],
+        )
         self._gain_a[cluster_id] = a
         self._gain_b[cluster_id] = b
 
@@ -247,12 +243,16 @@ class MatrixEngine(EngineBase):
         ``X`` is immutable for the engine's lifetime and every
         assignment pass sweeps the documents in the same order, so the
         (sparse-sparse, and therefore expensive) Gram products are paid
-        once per fit instead of once per iteration.
+        once per fit instead of once per iteration. The cache is LRU —
+        bounded to one full sweep's block count — so probing shifting
+        document subsets over a long-lived engine recycles entries
+        instead of accumulating a dense Gram block per block start.
         """
         nb = len(block_rows)
         first = int(block_rows[0])
         cached = self._block_cache.get(first)
         if cached is not None and np.array_equal(cached[0], block_rows):
+            self._block_cache[first] = self._block_cache.pop(first)
             return cached[1], cached[2]
         if first + nb - 1 == int(block_rows[-1]) and np.array_equal(
             block_rows, np.arange(first, first + nb, dtype=np.int64)
@@ -263,6 +263,11 @@ class MatrixEngine(EngineBase):
         else:
             Xb = self._X[block_rows]
         Gb = (Xb @ Xb.T).toarray()
+        while (
+            first not in self._block_cache
+            and len(self._block_cache) >= self._block_cache_limit
+        ):
+            self._block_cache.pop(next(iter(self._block_cache)))
         self._block_cache[first] = (block_rows.copy(), Xb, Gb)
         return Xb, Gb
 
@@ -297,6 +302,7 @@ class MatrixEngine(EngineBase):
         assigned = self._assigned
         crpp, ss, sizes = self._crpp, self._ss, self._sizes
         members = self._members
+        empty_docs = self._empty_docs
         w2s = self._w2
         gain_a, gain_b = self._gain_a, self._gain_b
         is_g = self._criterion == "g"
@@ -352,7 +358,12 @@ class MatrixEngine(EngineBase):
                 move_cluster.append(current)
                 move_idx.append(i)
                 move_sign.append(-1.0)
-            if w2 <= 0.0:
+            # the EngineBase contract (base.py): empty-vector documents
+            # — and exactly those — decide (-1, NO_GAIN). Gating on the
+            # membership set rather than `w2 <= 0.0` keeps parity with
+            # the sequential engines for pathological non-empty vectors
+            # whose self-similarity underflows to 0.0.
+            if doc_id in empty_docs:
                 best_out[i] = -1
                 gain_out[i] = NO_GAIN
                 i += 1
@@ -475,7 +486,11 @@ class MatrixEngine(EngineBase):
             G[c, j] = g_own
         best0 = np.argmax(G, axis=0)
         gain0 = G[best0, np.arange(m)]
-        empty = w2v <= 0.0
+        # same membership-set gate as the sequential path (base.py)
+        empty_docs = self._empty_docs
+        empty = np.fromiter(
+            (d in empty_docs for d in ids), dtype=bool, count=m
+        )
         join = gain0 > 0.0
         moved = np.where(asg, (best0 != cur) | ~join, join & ~empty)
         movers = np.flatnonzero(moved)

@@ -1,0 +1,684 @@
+"""Candidate-pruned engine: inverted term→cluster index, exact gains.
+
+The assignment hot path scores every document against all K cluster
+representatives (Eq. 26): ``best_gain`` is one ``c⃗_p · w⃗_q`` per
+cluster, so a sweep costs ``O(K · nnz)`` per document no matter how
+little vocabulary the document shares with most clusters. At large K
+and vocabulary almost all of that work multiplies zeros: a cluster
+whose representative carries *none* of the document's terms has
+``cr_sim(C_p, d_q) = 0`` exactly, and its Eq. 25-26 gain is the
+document-independent constant ``b_p`` of the affine form
+``gain = a_p·cr + b_p`` (:func:`~repro.core.engines.base.\
+affine_gain_coefficients`). This engine exploits that with three
+layers, none of which approximates:
+
+* **Inverted term→cluster index** — per term, a K-bit posting set of
+  the clusters whose representative holds a *non-zero* coordinate
+  there (maintained against the float array itself, so cancellation
+  residues stay indexed and parity with the dense path is exact).
+  Clusters sharing no term with the document are never dotted: their
+  gain is ``b_p``, read straight off the coefficient vector.
+* **Heavy/light term split** — terms carried by at least
+  ``k//4`` representatives ("heavy": stopword-like survivors, bursty
+  background vocabulary) would put every cluster in the candidate set;
+  their contribution is instead computed for all K clusters in one
+  slim matrix-vector product over just those columns. Candidate
+  enumeration runs only over the light (rare) terms, where posting
+  sets are genuinely small.
+* **Residual-mass bound** — among the candidates, Cauchy-Schwarz
+  bounds the light-term mass: ``cr_light ≤ √(cr_sim(C_p,C_p) · w2_l)``
+  with ``cr_sim(C_p, C_p)`` the representative's own mass (Eq. 21-22,
+  already maintained) and ``w2_l`` the document's light-term
+  self-similarity. A candidate whose bound cannot lift its gain to the
+  best exactly-known gain (the best non-candidate's ``a_p·cr_heavy +
+  b_p``, which this engine has already computed exactly) is skipped
+  before its dot product is taken. The bound is inflated by a relative
+  margin that dominates float rounding, and skipping is strict, so a
+  cluster is only ever pruned when it *provably* cannot win — the
+  argmax, and therefore every assignment, is identical to the exact
+  path (see DESIGN.md for the argument).
+
+Pruning shrinks the arithmetic, but a document-at-a-time loop would
+still pay tens of microseconds of interpreter and dispatch overhead
+per probe — more than the dot products it saves. :meth:`best_gains`
+therefore resolves runs of *net-stationary* documents (removed, probed
+and re-joining the cluster they came from — the overwhelmingly common
+case once a stream has settled) in vectorised windows that never
+materialise a full ``(window, K)`` gain table: only candidate and
+own-cluster pairs are scored, every other cluster is dispatched by one
+window-wide Cauchy-Schwarz screen over the *heavy* term mass (see
+:meth:`_speculate`), and the sequential reference path takes over at
+the first document that actually changes membership. The same
+speculation idea drives the scipy matrix engine's sweep; here it is
+index-pruned and numpy-only.
+
+Everything else — membership bookkeeping, the single-document fallback
+semantics, CSR batch construction — is inherited from
+:class:`~repro.core.engines.dense.DenseEngine`, so the pruned engine
+needs numpy only.
+"""
+
+from __future__ import annotations
+
+from operator import itemgetter
+from typing import List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..._typing import BoolArray, FloatArray, IntArray
+from ...obs import Span, resolve
+from ...vectors.sparse import SparseVector
+from .base import NO_GAIN, affine_gain_coefficients
+from .dense import DenseEngine
+
+#: A term carried by at least this fraction of the K representatives is
+#: "heavy": it is scored for every cluster in one matrix-vector product
+#: instead of enumerating its (near-full) posting set. Any value is
+#: exact — the split only moves terms between two exact code paths.
+HEAVY_FRACTION = 0.25
+
+#: Relative inflation of the Cauchy-Schwarz bound before a candidate is
+#: skipped. The float error of the bound and of the exact dot products
+#: is O(nnz·eps) ≈ 1e-13 relative; 1e-9 dominates it by four orders of
+#: magnitude while staying far too small to keep a beatable candidate.
+BOUND_MARGIN = 1e-9
+
+#: Documents resolved per speculation attempt. Larger windows amortise
+#: the fixed count of numpy dispatches over more documents; the work
+#: per window stays proportional to the documents' term counts.
+SPECULATE_WINDOW = 256
+
+
+def _ragged_positions(starts: IntArray, lengths: IntArray) -> IntArray:
+    """Flat positions selecting the runs ``starts[i]:starts[i]+lengths[i]``.
+
+    The returned index array concatenates the (variable-length) runs,
+    turning per-segment gathers into one fancy index.
+    """
+    total = int(lengths.sum())
+    prefix = np.zeros(lengths.size, dtype=np.int64)
+    np.cumsum(lengths[:-1], out=prefix[1:])
+    return (
+        np.repeat(starts - prefix, lengths)
+        + np.arange(total, dtype=np.int64)
+    )
+
+
+class PrunedEngine(DenseEngine):
+    """Inverted-index candidate pruning over the dense representatives."""
+
+    def __init__(
+        self, k: int, vectors: Mapping[str, SparseVector], criterion: str
+    ) -> None:
+        super().__init__(k, vectors, criterion)
+        n_terms = self._rep.shape[1]
+        # posting sets as K-bit rows (little-endian: bit i = cluster i),
+        # plus per-term posting sizes for the heavy/light split
+        self._posting_words = (k + 63) // 64
+        self._bits = np.zeros(
+            (n_terms, self._posting_words), dtype=np.uint64
+        )
+        self._nzcount = np.zeros(n_terms, dtype=np.int64)
+        self._heavy_cut = max(1, int(k * HEAVY_FRACTION))
+        # single-cluster posting shortcut: owner[t] is the one cluster
+        # whose representative carries term t (-1: none, -2: several).
+        # Redundant with the bit rows, but a 4-byte gather against a
+        # table that fits in cache — the windowed sweep enumerates
+        # candidates through it whenever no light term is shared
+        # (owner == -2 falls back to the exact posting words).
+        self._owner = np.full(n_terms, -1, dtype=np.int32)
+        # affine gain coefficients per cluster (Eq. 25-26)
+        self._gain_a = np.zeros(k, dtype=np.float64)
+        self._gain_b = np.zeros(k, dtype=np.float64)
+        # per-sweep pruning statistics, flushed by best_gains' span
+        self._stat_probes = 0
+        self._stat_candidates = 0
+        self._stat_scored = 0
+
+    # -- index maintenance ------------------------------------------------
+
+    def _refresh_coeffs(self, cluster_id: int) -> None:
+        a, b = affine_gain_coefficients(
+            self._criterion,
+            int(self._sizes[cluster_id]),
+            float(self._crpp[cluster_id]),
+            float(self._ss[cluster_id]),
+        )
+        self._gain_a[cluster_id] = a
+        self._gain_b[cluster_id] = b
+
+    def _sync_postings(self, cluster_id: int, ids: IntArray) -> None:
+        """Re-derive the touched posting bits from the float array.
+
+        The invariant is ``bit(t, p) set ⇔ rep[p, t] != 0.0`` over the
+        *actual float values*, not over membership counts: a coordinate
+        that cancels to exactly 0.0 leaves the posting set (its dot
+        contribution is exactly zero), and a residue that survives a
+        removal stays in it (the exact path would still see it).
+        """
+        word = cluster_id >> 6
+        mask = np.uint64(1 << (cluster_id & 63))
+        had = (self._bits[ids, word] & mask) != 0
+        now = self._rep[cluster_id, ids] != 0.0
+        gained = ids[now & ~had]
+        lost = ids[had & ~now]
+        if gained.size:
+            self._bits[gained, word] |= mask
+            self._nzcount[gained] += 1
+            nz = self._nzcount[gained]
+            self._owner[gained[nz == 1]] = cluster_id
+            self._owner[gained[nz == 2]] = -2
+        if lost.size:
+            self._bits[lost, word] &= ~mask
+            self._nzcount[lost] -= 1
+            self._reown(lost)
+
+    def _reown(self, lost: IntArray) -> None:
+        """Restore the owner shortcut for terms that lost a posting."""
+        nz = self._nzcount[lost]
+        self._owner[lost[nz == 0]] = -1
+        down = lost[nz == 1]
+        if down.size:
+            # back to a single posting: find the one remaining bit
+            spread = np.unpackbits(
+                self._bits[down].view(np.uint8), axis=1,
+                count=self.k, bitorder="little",
+            )
+            self._owner[down] = np.argmax(spread, axis=1)
+
+    def _clear_postings(self, cluster_id: int) -> None:
+        """Drop every posting of one cluster (its rep row was zeroed)."""
+        word = cluster_id >> 6
+        mask = np.uint64(1 << (cluster_id & 63))
+        column = self._bits[:, word]
+        had = (column & mask) != 0
+        if had.any():
+            self._nzcount[had] -= 1
+            column[had] &= ~mask
+            self._reown(np.flatnonzero(had))
+
+    def _add(self, cluster_id: int, doc_id: str) -> None:
+        super()._add(cluster_id, doc_id)
+        self._sync_postings(cluster_id, self._doc_ids[doc_id])
+        self._refresh_coeffs(cluster_id)
+
+    def _remove(self, cluster_id: int, doc_id: str) -> None:
+        super()._remove(cluster_id, doc_id)
+        if self._sizes[cluster_id] == 0:
+            # DenseEngine zeroed the whole representative row, including
+            # residues at terms this document never carried
+            self._clear_postings(cluster_id)
+        else:
+            self._sync_postings(cluster_id, self._doc_ids[doc_id])
+        self._refresh_coeffs(cluster_id)
+
+    def refresh(self) -> None:
+        super().refresh()
+        for cluster_id in range(self.k):
+            self._refresh_coeffs(cluster_id)
+
+    # -- pruned gain query ------------------------------------------------
+
+    def best_gain(self, doc_id: str) -> Tuple[int, float]:
+        gains = self._pruned_gains(doc_id)
+        best = int(np.argmax(gains))
+        return best, float(gains[best])
+
+    def _pruned_gains(self, doc_id: str) -> FloatArray:
+        """Eq. 25-26 gains with candidate pruning; argmax-exact.
+
+        Entries of skipped clusters hold an exact *lower* bound that is
+        provably below the true maximum, so ``argmax`` (winner, value
+        and first-index tie-break) matches the unpruned computation.
+        """
+        ids, vals = self._doc_ids[doc_id], self._doc_vals[doc_id]
+        self._stat_probes += 1
+        heavy = self._nzcount[ids] >= self._heavy_cut
+        heavy_ids = ids[heavy]
+        if heavy_ids.size:
+            cr = self._rep[:, heavy_ids] @ vals[heavy]
+        else:
+            cr = np.zeros(self.k, dtype=np.float64)
+        gains = self._gain_a * cr
+        gains += self._gain_b
+        light_ids = ids[~heavy]
+        if not light_ids.size:
+            self._stat_scored += self.k
+            return gains
+        words = np.bitwise_or.reduce(self._bits[light_ids], axis=0)
+        candidates = np.flatnonzero(
+            np.unpackbits(
+                words.view(np.uint8), count=self.k, bitorder="little"
+            )
+        )
+        self._stat_candidates += candidates.size
+        if not candidates.size:
+            # no cluster shares a light term: every light contribution
+            # is exactly zero and `gains` is already exact
+            self._stat_scored += self.k
+            return gains
+        light_vals = vals[~heavy]
+        # residual-mass bound: cr_light ≤ √(crpp · w2_light), so gain ≤
+        # heavy-only gain + a·bound. Anything below the best *exactly
+        # known* gain (the best non-candidate, whose light mass is
+        # exactly zero) cannot win the argmax.
+        if candidates.size < self.k:
+            shadowed = gains.copy()
+            shadowed[candidates] = -np.inf
+            floor = float(shadowed.max())
+            bound = np.sqrt(
+                self._crpp[candidates] * float(light_vals @ light_vals)
+            )
+            ceiling = gains[candidates] + (
+                self._gain_a[candidates] * bound * (1.0 + BOUND_MARGIN)
+            )
+            scored = candidates[ceiling >= floor]
+        else:
+            scored = candidates
+        self._stat_scored += self.k - candidates.size + scored.size
+        if scored.size:
+            light = self._rep[np.ix_(scored, light_ids)] @ light_vals
+            gains[scored] = (
+                self._gain_a[scored] * (cr[scored] + light)
+                + self._gain_b[scored]
+            )
+        return gains
+
+    # -- batched sweep ----------------------------------------------------
+
+    def best_gains(
+        self, doc_ids: Sequence[str]
+    ) -> List[Tuple[int, float]]:
+        """Windowed speculative sweep, instrumented with prune rates.
+
+        Equivalent to the sequential reference loop of
+        :meth:`EngineBase.best_gains`: runs of net-stationary documents
+        are resolved in vectorised windows (:meth:`_speculate`), and
+        the sequential remove/probe/re-add path handles every document
+        that actually changes membership.
+        """
+        recorder = resolve(None)
+        self._stat_probes = 0
+        self._stat_candidates = 0
+        self._stat_scored = 0
+        n = len(doc_ids)
+        best_out = np.empty(n, dtype=np.int64)
+        gain_out = np.empty(n, dtype=np.float64)
+        with Span(recorder, "engine.pruned.sweep",
+                  {"docs": n, "k": self.k}):
+            i = 0
+            spec_fails = 0
+            arena = None
+            while i < n:
+                # vectorised fast path over a run of net-stationary
+                # documents; gives up for the sweep after three
+                # immediate misses (e.g. a first pass, where every
+                # document moves)
+                if spec_fails < 3 and n - i > 16:
+                    if arena is None:
+                        arena = self._build_arena(doc_ids)
+                    advanced = self._speculate(
+                        doc_ids, i, arena, best_out, gain_out
+                    )
+                    if advanced:
+                        spec_fails = 0
+                        i += advanced
+                        if i >= n:
+                            break
+                    else:
+                        spec_fails += 1
+                doc_id = doc_ids[i]
+                current = self._assigned.get(doc_id)
+                if current is not None:
+                    self.remove(current, doc_id)
+                if doc_id in self._empty_docs:
+                    best_out[i] = -1
+                    gain_out[i] = NO_GAIN
+                    i += 1
+                    continue
+                cluster_id, gain = self.best_gain(doc_id)
+                if gain > 0.0:
+                    self.add(cluster_id, doc_id)
+                best_out[i] = cluster_id
+                gain_out[i] = gain
+                i += 1
+        if recorder.enabled and self._stat_probes:
+            probes = self._stat_probes
+            recorder.gauge(
+                "engine.pruned.candidates_per_doc",
+                self._stat_candidates / probes,
+            )
+            recorder.gauge(
+                "engine.pruned.scored_per_doc",
+                self._stat_scored / probes,
+            )
+            recorder.gauge(
+                "engine.pruned.pruned_fraction",
+                1.0 - self._stat_scored / (probes * self.k),
+            )
+        return list(zip(best_out.tolist(), gain_out.tolist()))
+
+    def _build_arena(
+        self, doc_ids: Sequence[str]
+    ) -> Tuple[IntArray, IntArray, FloatArray, FloatArray, BoolArray]:
+        """Sweep-wide flat term arrays — every window is a view.
+
+        Document vectors, their masses and the empty-document set are
+        fixed at construction, so one concatenation per sweep replaces
+        a per-window gather/concatenate of the same immutable data.
+        Only assignment-dependent state (current cluster, postings,
+        coefficients) is read per window.
+        """
+        n = len(doc_ids)
+        parts_ids = itemgetter(*doc_ids)(self._doc_ids)
+        parts_vals = itemgetter(*doc_ids)(self._doc_vals)
+        bounds = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(
+            np.fromiter(
+                (p.size for p in parts_ids), dtype=np.int64, count=n
+            ),
+            out=bounds[1:],
+        )
+        flat_ids = np.concatenate(parts_ids)
+        flat_vals = np.concatenate(parts_vals)
+        w2v_all = np.asarray(
+            itemgetter(*doc_ids)(self._doc_w2), dtype=np.float64
+        )
+        empty_docs = self._empty_docs
+        empty_all = np.fromiter(
+            (d in empty_docs for d in doc_ids), dtype=bool, count=n
+        )
+        return bounds, flat_ids, flat_vals, w2v_all, empty_all
+
+    def _speculate(
+        self,
+        doc_ids: Sequence[str],
+        i0: int,
+        arena: Tuple[
+            IntArray, IntArray, FloatArray, FloatArray, BoolArray
+        ],
+        best_out: IntArray,
+        gain_out: FloatArray,
+    ) -> int:
+        """Resolve a leading run of net-stationary documents at once.
+
+        In settled streams almost every document is removed, probed,
+        and re-joins the cluster it came from — a net no-op on every
+        cluster's accounting. This path never materialises a full
+        ``(window, K)`` gain table. It evaluates Eq. 25-26 *exactly*
+        only for the pairs that can win: each document's inverted-index
+        candidates and its own cluster (with the own-cluster
+        coefficients adjusted for its removal, exactly as the
+        sequential loop computes them). Every other cluster shares no
+        light term with the document, so its gain is bounded by the
+        heavy-mass Cauchy-Schwarz form ``b_p + a_p·√(crpp_p · w2_h)``
+        — one outer product over the window. Clusters whose inflated
+        bound stays below the document's best exactly-known gain are
+        dispatched without any per-pair arithmetic; the rare survivors
+        are scored exactly (heavy-only dot — their light mass is
+        exactly zero). The winner is the maximum over the exactly
+        scored set with first-index tie-breaking, i.e. the sequential
+        argmax. Decisions are recorded up to the first document that
+        actually changes membership and the count resolved is
+        returned; the caller's sequential loop takes over at the first
+        net mover. Returns 0 when the very next document moves.
+        """
+        stop_at = min(i0 + SPECULATE_WINDOW, len(doc_ids))
+        ids_seq = doc_ids[i0:stop_at]
+        m = len(ids_seq)  # >= 2: the caller gates on > 16 pending docs
+        k = self.k
+        rep = self._rep
+        gain_a, gain_b = self._gain_a, self._gain_b
+        assigned = self._assigned
+        bounds, flat_all, vals_all, w2v_all, empty_all = arena
+        base = int(bounds[i0])
+        flat_ids = flat_all[base:int(bounds[stop_at])]
+        flat_vals = vals_all[base:int(bounds[stop_at])]
+        lens = bounds[i0 + 1:stop_at + 1] - bounds[i0:stop_at]
+        starts = bounds[i0:stop_at] - base
+        seg = np.repeat(np.arange(m, dtype=np.int64), lens)
+        w2v = w2v_all[i0:stop_at]
+        empty = empty_all[i0:stop_at]
+        cur = np.fromiter(
+            (assigned.get(d, -1) for d in ids_seq),
+            dtype=np.int64, count=m,
+        )
+        # heavy/light split; the heavy side only needs its per-document
+        # mass w2_h for the screening bound (the flat arrays are pulled
+        # out only if a survivor must be scored). reduceat runs only at
+        # the starts of non-empty segments — its empty-segment
+        # semantics would smear neighbours otherwise.
+        heavy = self._nzcount[flat_ids] >= self._heavy_cut
+        hv2 = flat_vals * flat_vals
+        hv2 *= heavy
+        ne = np.flatnonzero(lens)
+        w2h = np.zeros(m, dtype=np.float64)
+        if flat_ids.size:
+            w2h[ne] = np.add.reduceat(hv2, starts[ne])
+        # candidate sets. The single-owner shortcut scatters most light
+        # tokens straight into the candidate matrix; only if some light
+        # token's posting spans several clusters (owner == -2) does the
+        # exact fallback OR the posting words per document. Both paths
+        # read the same postings, so the resulting matrix is identical.
+        light = ~heavy
+        light_ids = flat_ids[light]
+        cand = np.zeros((m, k), dtype=np.uint8)
+        if light_ids.size:
+            owner = self._owner[light_ids]
+            seg_l = seg[light]
+            if (owner == -2).any():
+                l_counts = np.bincount(seg_l, minlength=m)
+                l_starts = np.zeros(m, dtype=np.int64)
+                np.cumsum(l_counts[:-1], out=l_starts[1:])
+                l_ne = np.flatnonzero(l_counts)
+                words = np.zeros(
+                    (m, self._posting_words), dtype=np.uint64
+                )
+                words[l_ne] = np.bitwise_or.reduceat(
+                    self._bits[light_ids], l_starts[l_ne], axis=0
+                )
+                cand = np.unpackbits(
+                    words.view(np.uint8), axis=1, count=k,
+                    bitorder="little",
+                )
+            else:
+                single = owner >= 0
+                cand[seg_l[single], owner[single]] = 1
+        # the exactly scored pairs: inverted-index candidates (doc-major
+        # from np.nonzero, clusters ascending within a doc) plus each
+        # assigned document's own cluster where that is not already a
+        # candidate (in settled streams it almost always is — appending
+        # it unconditionally would gather every own dot twice); one
+        # ragged gather computes their full Eq. 26 dots over the
+        # documents' complete term lists
+        asg = cur >= 0
+        own_j = np.flatnonzero(asg)
+        own_c = cur[own_j]
+        pair_doc, pair_cl = np.nonzero(cand)
+        n_cand = pair_doc.size
+        own_is_cand = cand[own_j, own_c] != 0
+        p_doc = np.concatenate([pair_doc, own_j[~own_is_cand]])
+        p_cl = np.concatenate([pair_cl, own_c[~own_is_cand]])
+        p_len = lens[p_doc]
+        pos = _ragged_positions(starts[p_doc], p_len)
+        prod = rep[np.repeat(p_cl, p_len), flat_ids[pos]]
+        prod *= flat_vals[pos]
+        p_starts = np.zeros(p_doc.size, dtype=np.int64)
+        np.cumsum(p_len[:-1], out=p_starts[1:])
+        dots = np.zeros(p_doc.size, dtype=np.float64)
+        if prod.size:
+            p_ne = np.flatnonzero(p_len)
+            dots[p_ne] = np.add.reduceat(prod, p_starts[p_ne])
+        gains = gain_a[p_cl] * dots
+        gains += gain_b[p_cl]
+        # own-cluster pairs: the gain the sequential loop would see
+        # after removing the document, from the algebraically adjusted
+        # coefficients (crpp', ss', n-1) — the unadjusted value is not
+        # a gain any path ever observes. Each assigned document's own
+        # pair sits either in the (key-sorted) candidate block or in
+        # the appended tail, located once for both read and overwrite.
+        if own_j.size:
+            own_idx = np.empty(own_j.size, dtype=np.int64)
+            own_idx[own_is_cand] = np.searchsorted(
+                pair_doc * np.int64(k + 1) + pair_cl,
+                own_j[own_is_cand] * np.int64(k + 1)
+                + own_c[own_is_cand],
+            )
+            own_idx[~own_is_cand] = n_cand + np.arange(
+                own_j.size - int(own_is_cand.sum()), dtype=np.int64
+            )
+            o_dots = dots[own_idx]
+            w2a = w2v[own_j]
+            crpp1 = self._crpp[own_c] + (-2.0 * o_dots + w2a)
+            ss1 = self._ss[own_c] - w2a
+            n1 = self._sizes[own_c] - 1
+            dprime = o_dots - w2a
+            if self._criterion == "g":
+                a_ = 2.0 / np.maximum(n1, 1)
+                b_ = -(crpp1 - ss1) / np.maximum(n1 * (n1 - 1), 1)
+                g_own = np.where(
+                    n1 <= 0, 0.0,
+                    np.where(n1 == 1, 2.0 * dprime, a_ * dprime + b_),
+                )
+            else:
+                diff = crpp1 - ss1
+                d1 = np.maximum(n1 * (n1 + 1), 1)
+                a_ = 2.0 / d1
+                avg_cur = np.where(
+                    n1 > 1, diff / np.maximum(n1 * (n1 - 1), 1), 0.0
+                )
+                b_ = diff / d1 - avg_cur
+                g_own = np.where(n1 <= 0, 0.0, a_ * dprime + b_)
+            gains[own_idx] = g_own
+        # best exactly-known gain per document — the floor the screening
+        # bound must beat (candidate pairs are doc-major, so a segmented
+        # max covers them; own pairs fold in by scatter)
+        bk = np.full(m, -np.inf)
+        if n_cand:
+            c_cnt = np.bincount(pair_doc, minlength=m)
+            c_st = np.zeros(m, dtype=np.int64)
+            np.cumsum(c_cnt[:-1], out=c_st[1:])
+            c_ne = np.flatnonzero(c_cnt)
+            bk[c_ne] = np.maximum.reduceat(gains[:n_cand], c_st[c_ne])
+        if own_j.size:
+            bk[own_j] = np.maximum(bk[own_j], g_own)
+        # every remaining cluster shares no light term with its
+        # document, so its light mass is exactly zero and its gain is
+        # a_p·cr_heavy + b_p ≤ b_p + a_p·√(crpp_p · w2_h) by
+        # Cauchy-Schwarz. One outer product bounds all of them; only
+        # the margin-inflated survivors are scored. Empty documents
+        # resolve to (-1, NO_GAIN) below, so they screen out entirely.
+        bk[empty] = np.inf
+        sq = np.sqrt(w2h)
+        sq *= 1.0 + BOUND_MARGIN
+        # clamp accumulation drift: a representative mass can only
+        # round below zero when it is ~0, and sqrt(negative) would
+        # poison the whole bound row with NaN
+        amax = gain_a * np.sqrt(np.maximum(self._crpp, 0.0))
+        # cheap per-document pre-check: sq·max(a√crpp) + max(b) caps
+        # every cluster's bound, so documents whose floor already
+        # clears it (in settled streams: all of them) skip the
+        # (window, K) screen entirely
+        q = np.flatnonzero(
+            sq * float(amax.max()) + float(gain_b.max()) >= bk
+        )
+        s_doc = np.zeros(0, dtype=np.int64)
+        s_cl = np.zeros(0, dtype=np.int64)
+        g_s = np.zeros(0, dtype=np.float64)
+        if q.size:
+            ub = np.outer(sq[q], amax)
+            ub += gain_b[None, :]
+            surv = ub >= bk[q, None]
+            surv &= cand[q] == 0
+            row_of = np.full(m, -1, dtype=np.int64)
+            row_of[q] = np.arange(q.size, dtype=np.int64)
+            sel = row_of[own_j] >= 0
+            surv[row_of[own_j[sel]], own_c[sel]] = False
+            s_row, s_cl = np.nonzero(surv)
+            s_doc = q[s_row]
+        if s_doc.size:
+            heavy_ids = flat_ids[heavy]
+            heavy_vals = flat_vals[heavy]
+            h_counts = np.bincount(seg[heavy], minlength=m)
+            h_starts = np.zeros(m, dtype=np.int64)
+            np.cumsum(h_counts[:-1], out=h_starts[1:])
+            s_len = h_counts[s_doc]
+            pos = _ragged_positions(h_starts[s_doc], s_len)
+            prod = rep[np.repeat(s_cl, s_len), heavy_ids[pos]]
+            prod *= heavy_vals[pos]
+            s_st = np.zeros(s_doc.size, dtype=np.int64)
+            np.cumsum(s_len[:-1], out=s_st[1:])
+            s_dots = np.zeros(s_doc.size, dtype=np.float64)
+            if prod.size:
+                s_ne = np.flatnonzero(s_len)
+                s_dots[s_ne] = np.add.reduceat(prod, s_st[s_ne])
+            g_s = gain_a[s_cl] * s_dots
+            g_s += gain_b[s_cl]
+        # winner per document over the exactly scored set. Screened-out
+        # clusters sit strictly below the document's floor, so the
+        # maximum matches the full argmax; ties between exactly scored
+        # entries break to the lowest cluster id, which is np.argmax's
+        # first-index rule.
+        all_doc = np.concatenate([p_doc, s_doc])
+        all_cl = np.concatenate([p_cl, s_cl])
+        all_g = np.concatenate([gains, g_s])
+        order = np.argsort(
+            all_doc * np.int64(k + 1) + all_cl, kind="stable"
+        )
+        d_s = all_doc[order]
+        c_s = all_cl[order]
+        g_sorted = all_g[order]
+        a_cnt = np.bincount(d_s, minlength=m)
+        a_st = np.zeros(m, dtype=np.int64)
+        np.cumsum(a_cnt[:-1], out=a_st[1:])
+        a_ne = np.flatnonzero(a_cnt)
+        gain0 = np.full(m, NO_GAIN)
+        gain0[a_ne] = np.maximum.reduceat(g_sorted, a_st[a_ne])
+        is_max = g_sorted == gain0[d_s]
+        best0 = np.zeros(m, dtype=np.int64)
+        best0[a_ne] = np.minimum.reduceat(
+            np.where(is_max, c_s, k), a_st[a_ne]
+        )
+        # same membership-set gate as the sequential path (base.py); an
+        # assigned empty document is a mover — the reference loop
+        # removes it and never re-adds
+        join = gain0 > 0.0
+        moved = np.where(
+            asg, (best0 != cur) | ~join | empty, join & ~empty
+        )
+        movers = np.flatnonzero(moved)
+        stop = int(movers[0]) if movers.size else m
+        if stop == 0:
+            return 0
+        b_seg, g_seg = best0[:stop], gain0[:stop]
+        e = empty[:stop]
+        if e.any():
+            b_seg, g_seg = b_seg.copy(), g_seg.copy()
+            b_seg[e] = -1
+            g_seg[e] = NO_GAIN
+        best_out[i0:i0 + stop] = b_seg
+        gain_out[i0:i0 + stop] = g_seg
+        # pruning statistics over the committed, probed prefix.
+        # "scored" counts gains pinned by per-pair arithmetic; clusters
+        # dispatched by the window screening bound contribute nothing,
+        # so the batched path reports the (much smaller) number of
+        # dot products it actually takes per document.
+        probed = ~e
+        cand_counts = cand[:stop].sum(axis=1)
+        exact_counts = np.bincount(all_doc, minlength=m)[:stop]
+        self._stat_probes += int(probed.sum())
+        self._stat_candidates += int(cand_counts[probed].sum())
+        self._stat_scored += int(exact_counts[probed].sum())
+        # the reference loop's remove+re-add cycles a stationary doc to
+        # the end of its cluster's member dict; preserve that order so
+        # members() stays identical to the exact engines'
+        members = self._members
+        cur_l = cur[:stop].tolist()
+        for off in range(stop):
+            cluster_id = cur_l[off]
+            if cluster_id >= 0:
+                doc_id = ids_seq[off]
+                cluster_members = members[cluster_id]
+                del cluster_members[doc_id]
+                cluster_members[doc_id] = None
+        return stop

@@ -79,8 +79,10 @@ class NoveltyKMeans:
     engine:
         Name of a registered engine (see :mod:`repro.core.engines`):
         ``"dense"`` (numpy, default), ``"sparse"`` (reference),
-        ``"matrix"`` (vectorised CSR, requires scipy), or any name
-        added via :func:`~repro.core.engines.register_engine`.
+        ``"matrix"`` (vectorised CSR, requires scipy), ``"pruned"``
+        (inverted-index candidate pruning, fastest at large K ×
+        vocabulary), or any name added via
+        :func:`~repro.core.engines.register_engine`.
     reseed_empty:
         When True (default), a cluster that lost all members is
         re-seeded with the strongest outlier at the end of the pass,

@@ -1,0 +1,178 @@
+"""Cross-engine contract regressions for the assignment sweep.
+
+Pins the three engine-contract guarantees this layer makes to the
+clustering loop:
+
+* the matrix engine's Gram-block cache is LRU-bounded (one full
+  sweep's worth of blocks), so long-lived engines probing shifting
+  document subsets cannot grow it without bound;
+* exactly the *empty-vector* documents decide ``(-1, NO_GAIN)`` — a
+  non-empty vector whose self-similarity underflows to 0.0 is still
+  scored, identically on every engine;
+* a novelty decision (``gain <= 0``) removes the document from its
+  cluster without re-adding it, and nothing else: no document is ever
+  silently dropped from, or duplicated in, the membership accounting.
+"""
+
+import math
+
+import pytest
+
+from repro import CorpusStatistics, ForgettingModel, NoveltyKMeans
+from repro.core.engines import NO_GAIN, resolve_engine
+from repro.vectors.sparse import SparseVector
+from tests.conftest import make_document
+
+ENGINES = ("sparse", "dense", "matrix", "pruned")
+
+pytest.importorskip("scipy.sparse", reason="matrix engine requires scipy")
+
+
+class TestBlockCacheBound:
+    def test_cache_stays_bounded_under_shifting_subsets(self):
+        from repro.core.engines.matrix import MatrixEngine
+
+        n_docs, block_size = 40, 8
+        vectors = {
+            f"d{i:03d}": SparseVector({i % 7: 1.0, 7 + i % 5: 0.5})
+            for i in range(n_docs)
+        }
+        engine = MatrixEngine(4, vectors, "g", block_size=block_size)
+        limit = math.ceil(n_docs / block_size)
+        assert engine._block_cache_limit == limit
+        doc_ids = list(vectors)
+        # 25 distinct window starts → 25 distinct block keys; an
+        # unbounded cache would hold one dense Gram block per key
+        for start in range(25):
+            engine.best_gains(doc_ids[start:start + 16])
+            assert len(engine._block_cache) <= limit
+        # the steady-state full sweep still fits and still works
+        decisions = engine.best_gains(doc_ids)
+        assert len(decisions) == n_docs
+        assert len(engine._block_cache) <= limit
+
+    def test_full_sweep_blocks_all_cached(self):
+        from repro.core.engines.matrix import MatrixEngine
+
+        vectors = {
+            f"d{i:03d}": SparseVector({i % 7: 1.0})
+            for i in range(32)
+        }
+        engine = MatrixEngine(4, vectors, "g", block_size=8)
+        engine.best_gains(list(vectors))
+        # the cache exists to serve repeated full sweeps: all four
+        # blocks of one pass must be resident at once
+        assert len(engine._block_cache) == 4
+
+
+class TestEmptyDocContract:
+    def test_empty_and_underflow_docs_agree_across_engines(self):
+        vectors = {
+            "topical": SparseVector({0: 1.0, 1: 0.5}),
+            "other": SparseVector({1: 2.0, 3: 1.0}),
+            "empty": SparseVector({}),
+            # non-empty, but w⃗·w⃗ underflows to exactly 0.0 — must be
+            # scored (it overlaps "topical"), not treated as empty
+            "tiny": SparseVector({0: 1e-200, 2: 1e-200}),
+        }
+        order = ["empty", "tiny"]
+        decisions = {}
+        for name in ENGINES:
+            engine = resolve_engine(name)(2, vectors, "g")
+            engine.add(0, "topical")
+            engine.add(1, "other")
+            decisions[name] = engine.best_gains(order)
+        reference = decisions["dense"]
+        assert reference[0] == (-1, NO_GAIN)
+        assert reference[1][0] == 0 and reference[1][1] > 0.0
+        for name in ENGINES:
+            assert [d[0] for d in decisions[name]] == [
+                d[0] for d in reference
+            ], name
+
+    def test_underflow_doc_survives_speculation(self):
+        # enough documents that the matrix engine's vectorised
+        # fast path (not just the sequential loop) sees the
+        # underflowed vector
+        vectors = {
+            f"d{i:02d}": SparseVector({i % 3: 1.0}) for i in range(30)
+        }
+        vectors["tiny"] = SparseVector({0: 1e-200})
+        vectors["empty"] = SparseVector({})
+        order = list(vectors)
+        decisions = {}
+        for name in ENGINES:
+            engine = resolve_engine(name)(3, vectors, "g")
+            for i in range(30):
+                engine.add(i % 3, f"d{i:02d}")
+            # two identical passes: the second is net-stationary, which
+            # is what the speculation path accelerates
+            engine.best_gains(order)
+            decisions[name] = engine.best_gains(order)
+        reference = decisions["dense"]
+        assert reference[order.index("empty")] == (-1, NO_GAIN)
+        assert reference[order.index("tiny")][0] != -1
+        for name in ENGINES:
+            assert [d[0] for d in decisions[name]] == [
+                d[0] for d in reference
+            ], name
+
+
+class TestMembershipConservation:
+    @pytest.mark.parametrize("engine_name", ENGINES)
+    def test_novelty_decision_drops_doc_from_members_only(
+        self, engine_name
+    ):
+        # "loner" shares no vocabulary with any cluster: every gain is
+        # 0.0 (novel document), so the sweep must leave it unassigned —
+        # removed from membership, in no cluster's member list
+        vectors = {
+            "a": SparseVector({0: 1.0}),
+            "b": SparseVector({0: 0.5, 1: 1.0}),
+            "c": SparseVector({1: 2.0}),
+            "loner": SparseVector({9: 1.0}),
+            "empty": SparseVector({}),
+        }
+        engine = resolve_engine(engine_name)(2, vectors, "g")
+        engine.add(0, "a")
+        engine.add(0, "b")
+        engine.add(1, "c")
+        engine.add(1, "loner")  # warm-started into the wrong cluster
+        order = ["a", "b", "c", "loner", "empty"]
+        decisions = engine.best_gains(order)
+        members = engine.members()
+        flat = [doc for cluster in members for doc in cluster]
+        assert len(flat) == len(set(flat)), "document in two clusters"
+        for doc_id, (cluster_id, gain) in zip(order, decisions):
+            if gain > 0.0:
+                assert doc_id in members[cluster_id]
+                assert engine.cluster_of(doc_id) == cluster_id
+            else:
+                assert all(doc_id not in c for c in members), (
+                    f"{doc_id} kept a stale membership after a "
+                    f"novelty decision"
+                )
+                assert engine.cluster_of(doc_id) is None
+        assert set(flat) | {"loner", "empty"} == set(order)
+
+    @pytest.mark.parametrize("engine_name", ENGINES)
+    def test_fit_partitions_docs_with_novelty_outliers(self, engine_name):
+        docs = [
+            make_document("s1", 0.0, {0: 3, 1: 1}),
+            make_document("s2", 0.5, {0: 2, 1: 2}),
+            make_document("f1", 1.0, {5: 3, 6: 1}),
+            make_document("f2", 1.5, {5: 1, 6: 2}),
+            make_document("loner", 2.0, {9: 4}),
+            make_document("blank", 2.0, {}),
+        ]
+        model = ForgettingModel(half_life=7.0, life_span=14.0)
+        stats = CorpusStatistics.from_scratch(model, docs, at_time=2.0)
+        result = NoveltyKMeans(k=2, seed=0, engine=engine_name).fit(
+            docs, stats
+        )
+        clustered = [d for members in result.clusters for d in members]
+        assert len(clustered) == len(set(clustered))
+        assert set(clustered) | set(result.outliers) == {
+            d.doc_id for d in docs
+        }
+        assert "blank" in result.outliers

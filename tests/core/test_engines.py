@@ -26,7 +26,7 @@ from repro.exceptions import ConfigurationError
 from repro.forgetting.statistics import CorpusStatistics
 from tests.conftest import build_topic_repository
 
-ENGINES = ("sparse", "dense", "matrix")
+ENGINES = ("sparse", "dense", "matrix", "pruned")
 
 
 def _has_scipy():
@@ -98,7 +98,7 @@ class TestRegistry:
 
 @needs_scipy
 class TestEngineParity:
-    """dense / sparse / matrix must agree document-for-document."""
+    """dense / sparse / matrix / pruned must agree document-for-document."""
 
     @pytest.mark.parametrize("criterion", ["g", "avg"])
     @pytest.mark.parametrize("seed", [0, 7])
@@ -110,7 +110,7 @@ class TestEngineParity:
             kmeans.criterion = criterion
             results[engine] = kmeans.fit(docs, statistics)
         reference = results["dense"]
-        for engine in ("sparse", "matrix"):
+        for engine in ("sparse", "matrix", "pruned"):
             result = results[engine]
             assert result.assignments() == reference.assignments(), engine
             assert result.clusters == reference.clusters, engine
@@ -139,7 +139,7 @@ class TestEngineParity:
                     batch, at_time=float(day + 1)
                 )
             reference = window["dense"]
-            for engine in ("sparse", "matrix"):
+            for engine in ("sparse", "matrix", "pruned"):
                 result = window[engine]
                 assert result.assignments() == reference.assignments(), (
                     f"{engine} diverged in window {day}"
@@ -161,7 +161,7 @@ class TestEngineParity:
             for engine in ENGINES
         }
         reference = results["dense"]
-        for engine in ("sparse", "matrix"):
+        for engine in ("sparse", "matrix", "pruned"):
             assert set(results[engine].outliers) == set(reference.outliers)
             assert (
                 results[engine].assignments() == reference.assignments()

@@ -1,0 +1,200 @@
+"""Unit tests for the pruned engine's inverted index and bound pruning.
+
+The posting invariant under test is the one DESIGN.md's exactness
+argument rests on: ``bit(t, p) set ⇔ rep[p, t] != 0.0`` over the actual
+float values, at every point of the membership mutation stream. The
+bound-pruning layer is checked bit-for-bit against the same engine with
+the prune filter disabled.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engines import pruned as pruned_module
+from repro.core.engines.dense import DenseEngine
+from repro.core.engines.pruned import PrunedEngine
+from repro.obs import InMemoryRecorder, use_recorder
+from repro.vectors.sparse import SparseVector
+
+
+def postings_matrix(engine):
+    """Unpack the bitset index into a boolean (n_terms, k) matrix."""
+    return np.unpackbits(
+        engine._bits.view(np.uint8), axis=1, count=engine.k,
+        bitorder="little",
+    ).astype(bool)
+
+
+def assert_posting_invariant(engine):
+    expected = (engine._rep != 0.0).T
+    actual = postings_matrix(engine)
+    assert np.array_equal(actual, expected)
+    assert np.array_equal(engine._nzcount, expected.sum(axis=1))
+
+
+VECTORS = {
+    "a": SparseVector({0: 1.0, 1: 2.0}),
+    "b": SparseVector({1: 0.5, 2: 1.5}),
+    "c": SparseVector({3: 1.0, 4: 0.25}),
+    "d": SparseVector({0: 0.75, 4: 1.25}),
+}
+
+
+class TestPostingInvariant:
+    def test_tracks_rep_through_adds_and_removes(self):
+        engine = PrunedEngine(3, VECTORS, "g")
+        assert_posting_invariant(engine)
+        for cluster_id, doc_id in [(0, "a"), (0, "b"), (1, "c"), (2, "d")]:
+            engine.add(cluster_id, doc_id)
+            assert_posting_invariant(engine)
+        for cluster_id, doc_id in [(0, "b"), (1, "c"), (0, "a")]:
+            engine.remove(cluster_id, doc_id)
+            assert_posting_invariant(engine)
+
+    def test_cancellation_to_zero_leaves_posting_set(self):
+        # term 0 is carried only by "a": after a's removal the rep
+        # coordinate returns to exactly 0.0 while the cluster stays
+        # non-empty, and the posting must leave with it
+        engine = PrunedEngine(2, VECTORS, "g")
+        engine.add(0, "a")
+        engine.add(0, "b")
+        engine.remove(0, "a")
+        assert engine._rep[0, 0] == 0.0
+        assert not postings_matrix(engine)[0, 0]
+        assert_posting_invariant(engine)
+
+    def test_emptied_cluster_clears_every_posting(self):
+        engine = PrunedEngine(2, VECTORS, "g")
+        engine.add(0, "a")
+        engine.add(0, "d")
+        engine.remove(0, "a")
+        engine.remove(0, "d")
+        # DenseEngine zeroes the whole representative row on emptying;
+        # the index must drop all of the cluster's postings with it
+        assert not postings_matrix(engine)[:, 0].any()
+        assert_posting_invariant(engine)
+
+    def test_survives_a_full_sweep(self):
+        engine = PrunedEngine(2, VECTORS, "g")
+        engine.add(0, "a")
+        engine.add(1, "c")
+        engine.best_gains(list(VECTORS))
+        assert_posting_invariant(engine)
+
+
+class TestPrunedDecisions:
+    def _seeded(self, cls, criterion="g"):
+        engine = cls(3, VECTORS, criterion)
+        engine.add(0, "a")
+        engine.add(1, "c")
+        return engine
+
+    @pytest.mark.parametrize("criterion", ["g", "avg"])
+    def test_matches_dense_decisions(self, criterion):
+        dense = self._seeded(DenseEngine, criterion)
+        pruned = self._seeded(PrunedEngine, criterion)
+        dense_decisions = dense.best_gains(list(VECTORS))
+        pruned_decisions = pruned.best_gains(list(VECTORS))
+        for (dc, dg), (pc, pg) in zip(dense_decisions, pruned_decisions):
+            assert pc == dc
+            assert pg == pytest.approx(dg, rel=1e-9, abs=1e-15)
+        assert pruned.members() == dense.members()
+
+    def test_pruning_disabled_is_bit_identical(self, monkeypatch):
+        """The bound filter changes nothing, bit for bit.
+
+        With the margin inflated to 1e30 every candidate's ceiling
+        clears the floor, so all candidates are scored — same float
+        path, no pruning. Winner ids *and* gain floats must be equal
+        exactly, which is the argmax-exactness claim of DESIGN.md.
+        """
+        sweep = list(VECTORS) + ["b", "a", "d"]
+        pruned = self._seeded(PrunedEngine)
+        pruned_decisions = pruned.best_gains(sweep)
+        monkeypatch.setattr(pruned_module, "BOUND_MARGIN", 1e30)
+        unpruned = self._seeded(PrunedEngine)
+        unpruned_decisions = unpruned.best_gains(sweep)
+        assert pruned_decisions == unpruned_decisions
+        assert pruned.members() == unpruned.members()
+
+    def test_disjoint_vocabulary_prunes_candidates(self):
+        # clusters over disjoint vocabularies: a probe sharing terms
+        # with one cluster must enumerate only that one candidate
+        k = 8
+        vectors = {
+            f"t{p}d{i}": SparseVector({10 * p + i: 1.0, 10 * p: 2.0})
+            for p in range(k) for i in range(1, 3)
+        }
+        probe = "t0d1"
+        engine = PrunedEngine(k, vectors, "g")
+        for p in range(k):
+            engine.add(p, f"t{p}d2")
+        decisions = engine.best_gains([probe])
+        assert decisions[0][0] == 0
+        assert engine._stat_candidates == 1
+
+    def test_bound_prunes_hopeless_candidate(self):
+        # probe shares a heavy term with cluster 2 (a big exactly-known
+        # gain, the floor) and a tiny light term with cluster 1, whose
+        # Cauchy-Schwarz ceiling cannot reach the floor: cluster 1 must
+        # be skipped without its dot product, and the decision must
+        # still match the exact engine
+        k = 8
+        vectors = {
+            "w1": SparseVector({1: 0.002}),
+            "w2": SparseVector({99: 5.0}),
+            "w3": SparseVector({99: 3.0}),
+            "probe": SparseVector({99: 1.0, 1: 0.001}),
+        }
+
+        def seeded(cls):
+            engine = cls(k, vectors, "g")
+            engine.add(1, "w1")
+            engine.add(2, "w2")
+            engine.add(3, "w3")
+            return engine
+
+        pruned = seeded(PrunedEngine)
+        # term 99 sits in two of eight representatives: heavy
+        assert pruned._nzcount[pruned._column[99]] == pruned._heavy_cut
+        decisions = pruned.best_gains(["probe"])
+        assert decisions == seeded(DenseEngine).best_gains(["probe"])
+        assert decisions[0][0] == 2
+        # one candidate enumerated (cluster 1), zero scored: the bound
+        # pruned it, so exactly k - 1 gains were exactly known
+        assert pruned._stat_candidates == 1
+        assert pruned._stat_scored == k - 1
+
+    def test_heavy_terms_bypass_candidate_enumeration(self):
+        # a background term in every representative is "heavy": it must
+        # not by itself turn every cluster into a candidate
+        k = 8
+        vectors = {
+            f"t{p}": SparseVector({p: 1.0, 99: 0.5}) for p in range(k)
+        }
+        vectors["probe"] = SparseVector({0: 1.0, 99: 0.5})
+        engine = PrunedEngine(k, vectors, "g")
+        for p in range(k):
+            engine.add(p, f"t{p}")
+        assert engine._nzcount[engine._column[99]] == k
+        dense = DenseEngine(k, vectors, "g")
+        for p in range(k):
+            dense.add(p, f"t{p}")
+        assert (
+            engine.best_gains(["probe"])[0][0]
+            == dense.best_gains(["probe"])[0][0]
+        )
+
+
+class TestObservability:
+    def test_sweep_span_and_prune_gauges(self):
+        with use_recorder(InMemoryRecorder()) as recorder:
+            engine = PrunedEngine(3, VECTORS, "g")
+            engine.add(0, "a")
+            engine.best_gains(list(VECTORS))
+        names = recorder.names()
+        assert "engine.pruned.sweep" in names
+        assert "engine.pruned.candidates_per_doc" in names
+        assert "engine.pruned.scored_per_doc" in names
+        fraction = recorder.last("engine.pruned.pruned_fraction")
+        assert fraction is not None and 0.0 <= fraction <= 1.0

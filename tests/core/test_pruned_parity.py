@@ -1,0 +1,201 @@
+"""Property suite: the pruned engine is exact, over random streams.
+
+Extends the backend×engine parity harness
+(``tests/integration/test_backend_parity.py``, which already sweeps
+``"pruned"`` through its registry parametrisation) with generative
+coverage, in two layers:
+
+* **Bit-exactness of the pruning layer.** The same engine with the
+  bound filter disabled (margin inflated so every candidate is scored)
+  follows the identical float path, so decisions — winner ids *and*
+  gain floats — must be *equal*, not merely close. This is the
+  skip-only-provable-losers claim of DESIGN.md, and it holds for every
+  input, ties included.
+* **Decision parity with the exact dense path.** Dense computes Eq.
+  25-26 through a different (non-affine) float expression, so on exact
+  mathematical gain ties the two paths may order last-ulp-different
+  floats differently (the same caveat as sparse-vs-dense, see
+  ``test_kmeans_properties``). The tie-robust invariant: the pruned
+  winner's gain always matches dense's *maximum* gain to 1e-9, and
+  gain values agree decision-for-decision.
+
+Both run over random document streams through both statistics backends
+(``"dict"``, ``"columnar"``), which produce the weighted vectors the
+engines consume.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CorpusStatistics, ForgettingModel
+from repro.core.engines import NO_GAIN
+from repro.core.engines import pruned as pruned_module
+from repro.core.engines.dense import DenseEngine
+from repro.core.engines.pruned import PrunedEngine
+from repro.vectors.tfidf import NoveltyTfidfWeighter
+from tests.conftest import make_document
+
+# random mini-streams over a 30-term vocabulary: wide enough that, at
+# k up to 8, the heavy/light split and the candidate enumeration both
+# see real work (12-term corpora make almost every term heavy). The
+# upper size crosses the pruned engine's speculation threshold (a
+# window needs > 16 pending documents), so the vectorised
+# net-stationary fast path is generated alongside the sequential one.
+corpora = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+        st.dictionaries(
+            st.integers(min_value=0, max_value=29),
+            st.integers(min_value=1, max_value=5),
+            min_size=1,
+            max_size=6,
+        ),
+    ),
+    min_size=4,
+    max_size=24,
+)
+
+BACKENDS = ("dict", "columnar")
+
+
+def build_vectors(stats_docs, backend):
+    model = ForgettingModel(half_life=3.0)
+    docs = [
+        make_document(f"d{i}", t, counts)
+        for i, (t, counts) in enumerate(stats_docs)
+    ]
+    stats = CorpusStatistics.from_scratch(
+        model, docs, at_time=5.0, backend=backend
+    )
+    return docs, NoveltyTfidfWeighter(stats).weighted_vectors(docs)
+
+
+def seeded(cls, k, vectors, criterion):
+    """Engine with two-thirds of the documents warm-started round-robin."""
+    engine = cls(k, vectors, criterion)
+    for i, doc_id in enumerate(vectors):
+        if i % 3 != 2:
+            engine.add(i % k, doc_id)
+    return engine
+
+
+class TestPruningLayerIsExact:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        corpora,
+        st.integers(min_value=2, max_value=8),
+        st.sampled_from(["g", "avg"]),
+        st.sampled_from(BACKENDS),
+    )
+    def test_bound_filter_never_changes_a_decision(
+        self, stats_docs, k, criterion, backend
+    ):
+        docs, vectors = build_vectors(stats_docs, backend)
+        sweep = [d.doc_id for d in docs]
+        pruned = seeded(PrunedEngine, k, vectors, criterion)
+        decisions = [
+            pruned.best_gains(sweep),
+            pruned.best_gains(sweep),  # second pass: near-stationary
+        ]
+        margin = pruned_module.BOUND_MARGIN
+        pruned_module.BOUND_MARGIN = 1e30  # every ceiling clears the floor
+        try:
+            unpruned = seeded(PrunedEngine, k, vectors, criterion)
+            reference = [
+                unpruned.best_gains(sweep),
+                unpruned.best_gains(sweep),
+            ]
+        finally:
+            pruned_module.BOUND_MARGIN = margin
+        assert decisions == reference
+        assert pruned.members() == unpruned.members()
+        assert pruned.clustering_index() == unpruned.clustering_index()
+
+
+class TestDecisionParityWithDense:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        corpora,
+        st.integers(min_value=2, max_value=8),
+        st.sampled_from(["g", "avg"]),
+        st.sampled_from(BACKENDS),
+    )
+    def test_gains_match_dense_decision_for_decision(
+        self, stats_docs, k, criterion, backend
+    ):
+        docs, vectors = build_vectors(stats_docs, backend)
+        sweep = [d.doc_id for d in docs]
+        dense = seeded(DenseEngine, k, vectors, criterion)
+        pruned = seeded(PrunedEngine, k, vectors, criterion)
+        dense_decisions = dense.best_gains(sweep)
+        pruned_decisions = pruned.best_gains(sweep)
+        for doc_id, (dc, dg), (pc, pg) in zip(
+            sweep, dense_decisions, pruned_decisions
+        ):
+            if dg == NO_GAIN:
+                assert (pc, pg) == (dc, dg), doc_id
+                continue
+            # the winner's gain must be dense's maximum (tie-robust:
+            # on an exact tie either co-maximum is a correct winner,
+            # but a pruned-away cluster never is)
+            assert math.isclose(pg, dg, rel_tol=1e-9, abs_tol=1e-12), (
+                doc_id
+            )
+            if not math.isclose(pg, dg, rel_tol=1e-12, abs_tol=1e-15):
+                continue
+            if abs(dg) <= 1e-12:
+                # gain sits at the join threshold itself: BLAS vs
+                # sequential accumulation can land on either side of
+                # exact zero, so the join bit is not comparable
+                continue
+            # identical (to well past tie tolerance) gains: both
+            # engines kept the same membership effect
+            assert (pg > 0.0) == (dg > 0.0), doc_id
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        corpora,
+        st.integers(min_value=2, max_value=6),
+        st.sampled_from(BACKENDS),
+    )
+    def test_structured_streams_assign_identically(
+        self, stats_docs, k, backend
+    ):
+        """On tie-free inputs the full sweep must agree id-for-id.
+
+        Perturbing every term count by a document-unique prime offset
+        makes exact gain ties (the only divergence channel, see module
+        docstring) not constructible, so full decision equality is a
+        real invariant here.
+        """
+        perturbed = [
+            (t, {term: count * 7 + 3 * i + term % 5 + 1
+                 for term, count in counts.items()})
+            for i, (t, counts) in enumerate(stats_docs)
+        ]
+        docs, vectors = build_vectors(perturbed, backend)
+        sweep = [d.doc_id for d in docs]
+        dense = seeded(DenseEngine, k, vectors, "g")
+        pruned = seeded(PrunedEngine, k, vectors, "g")
+        for _ in range(2):
+            dense_decisions = dense.best_gains(sweep)
+            pruned_decisions = pruned.best_gains(sweep)
+            assert [d[0] for d in pruned_decisions] == [
+                d[0] for d in dense_decisions
+            ]
+            for (_, dg), (_, pg) in zip(
+                dense_decisions, pruned_decisions
+            ):
+                assert pg == dg or math.isclose(
+                    pg, dg, rel_tol=1e-9, abs_tol=1e-12
+                )
+        assert pruned.members() == dense.members()
+        assert math.isclose(
+            pruned.clustering_index(),
+            dense.clustering_index(),
+            rel_tol=1e-9,
+            abs_tol=1e-12,
+        )

@@ -191,6 +191,7 @@ _REGISTERED_CLASSES: Tuple[str, ...] = (
     "SparseEngine",
     "DenseEngine",
     "MatrixEngine",
+    "PrunedEngine",
     "DictStatisticsBackend",
     "ColumnarStatisticsBackend",
     "_SparseBackend",
@@ -257,6 +258,7 @@ _SPAN_ENTRY_POINTS: Tuple[Tuple[str, str], ...] = (
     ("repro/core/incremental.py", "IncrementalClusterer.process_batch"),
     ("repro/core/incremental.py", "NonIncrementalClusterer.process_batch"),
     ("repro/core/kmeans.py", "NoveltyKMeans.fit"),
+    ("repro/core/engines/pruned.py", "PrunedEngine.best_gains"),
     ("repro/forgetting/statistics.py", "CorpusStatistics.observe"),
     ("repro/forgetting/statistics.py", "CorpusStatistics.expire"),
     ("repro/forgetting/statistics.py", "CorpusStatistics.from_scratch"),
