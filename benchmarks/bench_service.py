@@ -1,0 +1,177 @@
+"""Service layer — what the reader-facing snapshot costs, and serves.
+
+Drives a synthetic stream through :class:`repro.service.ClusterService`
+while four reader threads hammer the query API, and measures the two
+numbers an operator cares about:
+
+- **publish latency** — wall time from ``add()`` to the batch's
+  snapshot being visible to readers (queue hand-off + ``process_batch``
+  + snapshot build + atomic swap);
+- **reader throughput** — queries answered per second *during* live
+  ingestion, i.e. with the writer busy the whole time.
+
+Writes ``benchmarks/reports/BENCH_service.json``. The only hard
+assertions are crash/parity ones — safe on noisy CI machines: the final
+served snapshot must equal a bare batch-mode replay of the same stream
+(the PR's snapshot-isolation acceptance bound, 1e-9), and every reader
+must have answered from a committed version. ``REPRO_BENCH_QUICK=1``
+shrinks the stream.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import ClusterService, ClusterSnapshot
+from repro.api import build_clusterer
+from repro.corpus.streams import iter_batches
+from repro.corpus.synthetic import SyntheticCorpusConfig, TDT2Generator
+
+BENCH_SERVICE_PATH = (
+    Path(__file__).parent / "reports" / "BENCH_service.json"
+)
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+BATCH_DAYS = 7.0
+K = 16
+SEED = 3
+READERS = 4
+TOTAL_DOCS = 400 if QUICK else 2000
+PARITY_TOL = 1e-9
+
+CLUSTERER_KWARGS = dict(
+    k=K, seed=SEED, half_life=7.0, life_span=14.0
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    config = SyntheticCorpusConfig(seed=1998, total_documents=TOTAL_DOCS)
+    repo = TDT2Generator(config).generate()
+    docs = sorted(repo.documents(), key=lambda d: (d.timestamp, d.doc_id))
+    batches = list(iter_batches(docs, BATCH_DAYS))
+    return repo.vocabulary, batches
+
+
+class _ReaderPool:
+    """Query threads that count answers and watch for stale versions."""
+
+    def __init__(self, service: ClusterService, probe) -> None:
+        self.service = service
+        self.probe = probe
+        self.stop = threading.Event()
+        self.queries = 0
+        self.version_regressions = 0
+        self._counts = [0] * READERS
+        self._threads = [
+            threading.Thread(target=self._run, args=(i,), daemon=True)
+            for i in range(READERS)
+        ]
+
+    def _run(self, index: int) -> None:
+        floor = 0
+        while not self.stop.is_set():
+            version = self.service.snapshot().version
+            self.service.assign(self.probe)
+            self.service.stats()
+            if version < floor:
+                self.version_regressions += 1
+            floor = version
+            self._counts[index] += 3
+
+    def __enter__(self) -> "_ReaderPool":
+        for thread in self._threads:
+            thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop.set()
+        for thread in self._threads:
+            thread.join(timeout=10.0)
+        self.queries = sum(self._counts)
+
+
+class TestServiceBench:
+    def test_reader_qps_and_publish_latency(self, workload, reporter):
+        vocabulary, batches = workload
+
+        # bare batch-mode replay: the parity reference
+        reference = build_clusterer(**CLUSTERER_KWARGS)
+        for at_time, batch in batches:
+            reference.process_batch(list(batch), at_time=at_time)
+        build_start = time.perf_counter()
+        expected = ClusterSnapshot.from_clusterer(
+            len(batches), reference
+        )
+        snapshot_build_seconds = time.perf_counter() - build_start
+
+        probe = batches[0][1][0]
+        clusterer = build_clusterer(**CLUSTERER_KWARGS)
+        latencies = []
+        with ClusterService(
+            clusterer, vocabulary=vocabulary
+        ) as service:
+            with _ReaderPool(service, dict(probe.term_counts)) as pool:
+                ingest_start = time.perf_counter()
+                for index, (at_time, batch) in enumerate(batches):
+                    submitted = time.perf_counter()
+                    service.add(batch, at_time=at_time)
+                    while service.version < index + 1:
+                        time.sleep(0.0005)
+                    latencies.append(time.perf_counter() - submitted)
+                ingest_seconds = time.perf_counter() - ingest_start
+            observed = service.snapshot()
+
+        # parity: the served snapshot IS the batch-mode state (1e-9)
+        assert observed.version == expected.version == len(batches)
+        assert observed.clusters == expected.clusters
+        assert observed.outliers == expected.outliers
+        assert math.isclose(
+            observed.clustering_index, expected.clustering_index,
+            rel_tol=PARITY_TOL, abs_tol=PARITY_TOL,
+        )
+        # readers never saw the published version go backwards
+        assert pool.version_regressions == 0
+        assert pool.queries > 0
+
+        latencies.sort()
+        point = {
+            "batches": len(batches),
+            "documents": sum(len(b) for _, b in batches),
+            "quick": QUICK,
+            "readers": READERS,
+            "reader_queries": pool.queries,
+            "reader_qps": pool.queries / ingest_seconds,
+            "ingest_seconds": ingest_seconds,
+            "publish_latency_seconds": {
+                "p50": latencies[len(latencies) // 2],
+                "max": latencies[-1],
+            },
+            "snapshot_build_seconds": snapshot_build_seconds,
+        }
+        BENCH_SERVICE_PATH.parent.mkdir(exist_ok=True)
+        BENCH_SERVICE_PATH.write_text(
+            json.dumps(point, indent=2) + "\n", encoding="utf-8"
+        )
+
+        lines = [
+            f"{'metric':<28} {'value':>12}",
+            f"{'reader qps (during ingest)':<28} "
+            f"{point['reader_qps']:>12.0f}",
+            f"{'publish latency p50 (ms)':<28} "
+            f"{1e3 * point['publish_latency_seconds']['p50']:>12.2f}",
+            f"{'publish latency max (ms)':<28} "
+            f"{1e3 * point['publish_latency_seconds']['max']:>12.2f}",
+            f"{'snapshot build (ms)':<28} "
+            f"{1e3 * snapshot_build_seconds:>12.2f}",
+        ]
+        reporter.add("service_snapshots", "\n".join(lines))
+        assert all(
+            math.isfinite(value) and value > 0 for value in latencies
+        )

@@ -8,15 +8,22 @@ incremental statistics update, baselines (classic K-means, INCR, GAC,
 F²ICM), the evaluation protocol, and a synthetic TDT2-like corpus
 generator driving every experiment in the paper.
 
-Quickstart::
+Quickstart — the supported entry point is :func:`repro.open_stream`,
+which returns a streaming session whose single writer ingests batches
+and whose readers query immutable versioned snapshots::
 
-    from repro import ForgettingModel, IncrementalClusterer
+    import repro
 
-    model = ForgettingModel(half_life=7.0, life_span=14.0)
-    clusterer = IncrementalClusterer(model, k=8, seed=0)
-    result = clusterer.process_batch(day_one_docs, at_time=0.0)
-    result = clusterer.process_batch(day_two_docs, at_time=1.0)
-    print(result.summary())
+    with repro.open_stream(k=8, half_life=7.0, life_span=14.0,
+                           seed=0) as session:
+        session.add(day_one_docs, at_time=0.0)
+        session.add(day_two_docs, at_time=1.0)
+        snapshot = session.flush()
+        print(snapshot.stats())
+
+For batch experiments that need the bare pipeline, use
+:func:`repro.api.build_clusterer` (direct ``IncrementalClusterer(...)``
+construction outside the library is linted against — reprolint REP003).
 """
 
 from .exceptions import (
@@ -27,6 +34,7 @@ from .exceptions import (
     JournalError,
     NotFittedError,
     ReproError,
+    ServiceClosedError,
     UnknownDocumentError,
     VocabularyFrozenError,
 )
@@ -47,7 +55,7 @@ from .corpus import (
     save_jsonl,
     split_into_windows,
 )
-from .forgetting import CorpusStatistics, ForgettingModel
+from .forgetting import CorpusStatistics, ForgettingModel, FrozenStatistics
 from .core import (
     Cluster,
     ClusterLabel,
@@ -72,9 +80,20 @@ from .persistence import CheckpointError, load_checkpoint, save_checkpoint
 from .durability import (
     BatchJournal,
     Checkpointer,
+    FollowedBatch,
     RecoveryResult,
+    follow,
     recover,
 )
+from .service import (
+    ClusterInfo,
+    ClusterService,
+    ClusterSnapshot,
+    QueryAssignment,
+    ServiceHTTPServer,
+    SnapshotStats,
+)
+from .api import StreamSession, build_clusterer, open_stream
 from .analysis import (
     BurstInterval,
     ClusterTrend,
@@ -110,6 +129,7 @@ __all__ = [
     "ClusteringError",
     "NotFittedError",
     "VocabularyFrozenError",
+    "ServiceClosedError",
     # text
     "Tokenizer",
     "PorterStemmer",
@@ -135,6 +155,7 @@ __all__ = [
     # forgetting
     "ForgettingModel",
     "CorpusStatistics",
+    "FrozenStatistics",
     # core
     "NoveltySimilarity",
     "Cluster",
@@ -181,6 +202,18 @@ __all__ = [
     "Checkpointer",
     "RecoveryResult",
     "recover",
+    "FollowedBatch",
+    "follow",
+    # service / api
+    "open_stream",
+    "build_clusterer",
+    "StreamSession",
+    "ClusterService",
+    "ClusterSnapshot",
+    "ClusterInfo",
+    "QueryAssignment",
+    "SnapshotStats",
+    "ServiceHTTPServer",
     # analysis
     "ClusterTrend",
     "cluster_novelty",

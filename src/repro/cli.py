@@ -8,14 +8,20 @@
                    [--engine NAME] [--stats-backend NAME] [--jobs N]
                    [--checkpoint state.json] [--checkpoint-every N]
                    [--resume state.json] [--trace trace.jsonl]
+    repro serve    --input stream.jsonl [--k N] [--batch-days D]
+                   [--checkpoint state.json] [--resume state.json]
+                   [--follow [--poll-interval S]] [--http PORT]
     repro experiment1 [--unlabeled-per-day N]
     repro experiment2 [--windows 1,4] [--betas 7,30]
 
 ``generate`` writes the synthetic TDT2-like stream as JSON Lines;
 ``cluster`` replays any JSONL stream through the incremental clusterer,
 printing a report per batch (and an evaluation when ground-truth topic
-labels are present); the experiment commands regenerate the paper's
-Table 1 and Tables 2/4 from the command line.
+labels are present); ``serve`` runs the streaming service
+(:func:`repro.api.open_stream`) over a stream — optionally tailing the
+file for appended records and exposing the snapshot query API over
+HTTP; the experiment commands regenerate the paper's Table 1 and
+Tables 2/4 from the command line.
 """
 
 from __future__ import annotations
@@ -25,15 +31,14 @@ import sys
 from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from . import __version__
+from .api import build_clusterer, open_stream
 from .corpus.loaders import load_jsonl, save_jsonl
 from .corpus.streams import replay
 from .corpus.synthetic import SyntheticCorpusConfig, TDT2Generator
 from .core.engines import available_engines
-from .core.incremental import IncrementalClusterer
 from .core.labeling import label_clustering
 from .eval.metrics import evaluate_clustering
 from .forgetting.backends import available_backends
-from .forgetting.model import ForgettingModel
 from .durability import Checkpointer, recover
 from .durability.atomic import prepare_checkpoint_path
 from .text.vocabulary import Vocabulary
@@ -113,6 +118,51 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write pipeline observability events "
                               "(phase spans, counters, gauges) to this "
                               "path as JSON Lines")
+
+    serve = commands.add_parser(
+        "serve", help="run the streaming service over a JSONL stream"
+    )
+    serve.add_argument("--input", default=None,
+                       help="JSONL stream to ingest (with --follow, the "
+                            "file is tailed for appended records and may "
+                            "not exist yet)")
+    serve.add_argument("--k", type=int, default=16)
+    serve.add_argument("--half-life", type=float, default=7.0)
+    serve.add_argument("--life-span", type=float, default=14.0)
+    serve.add_argument("--batch-days", type=float, default=7.0,
+                       help="width of the ingestion windows documents "
+                            "are batched into")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--engine", choices=sorted(available_engines()),
+                       default=None)
+    serve.add_argument("--stats-backend",
+                       choices=sorted(available_backends()),
+                       default=None)
+    serve.add_argument("--checkpoint", default=None,
+                       help="journal every committed batch and keep a "
+                            "crash-safe checkpoint at this path; "
+                            "snapshot versions equal journal sequences")
+    serve.add_argument("--checkpoint-every", type=int, default=None,
+                       metavar="N",
+                       help="with --checkpoint: rewrite the checkpoint "
+                            "every N batches instead of every batch")
+    serve.add_argument("--resume", default=None,
+                       help="recover from this checkpoint and continue "
+                            "serving at the recovered snapshot version")
+    serve.add_argument("--follow", action="store_true",
+                       help="keep tailing --input for appended records "
+                            "instead of ingesting it once")
+    serve.add_argument("--poll-interval", type=float, default=0.5,
+                       help="with --follow: seconds between file polls")
+    serve.add_argument("--http", type=int, default=None, metavar="PORT",
+                       help="expose the snapshot query API over HTTP on "
+                            "this port (0 picks a free one)")
+    serve.add_argument("--duration", type=float, default=None,
+                       metavar="SECONDS",
+                       help="with --follow/--http: serve for this long "
+                            "and exit cleanly (default: until Ctrl-C)")
+    serve.add_argument("--quiet", action="store_true",
+                       help="only print errors")
 
     experiment1 = commands.add_parser(
         "experiment1", help="regenerate Table 1 (timing comparison)"
@@ -217,11 +267,9 @@ def _run_cluster(
               f"than the checkpoint clock are treated as already "
               f"processed)")
     else:
-        model = ForgettingModel(
-            half_life=args.half_life, life_span=args.life_span
-        )
-        clusterer = IncrementalClusterer(
-            model, k=args.k, seed=args.seed,
+        clusterer = build_clusterer(
+            k=args.k, seed=args.seed,
+            half_life=args.half_life, life_span=args.life_span,
             engine=args.engine or "dense",
             statistics_backend=args.stats_backend or "dict",
             recorder=recorder,
@@ -321,6 +369,92 @@ def _run_cluster(
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import threading
+    import time
+
+    if args.checkpoint_every is not None and not (
+        args.checkpoint or args.resume
+    ):
+        raise ValueError("--checkpoint-every requires --checkpoint")
+    if not args.input and args.http is None:
+        raise ValueError("serve needs --input and/or --http")
+    if args.follow and not args.input:
+        raise ValueError("--follow requires --input")
+
+    if args.resume:
+        session = open_stream(
+            resume=args.resume,
+            checkpoint=args.checkpoint,
+            checkpoint_every=args.checkpoint_every or 1,
+            window_days=args.batch_days,
+        )
+        if not args.quiet:
+            print(f"resumed from {args.resume} at snapshot "
+                  f"version {session.version}")
+    else:
+        session = open_stream(
+            k=args.k, seed=args.seed,
+            half_life=args.half_life, life_span=args.life_span,
+            engine=args.engine or "dense",
+            statistics_backend=args.stats_backend or "dict",
+            checkpoint=args.checkpoint,
+            checkpoint_every=args.checkpoint_every or 1,
+            window_days=args.batch_days,
+        )
+    with session:
+        server = None
+        if args.http is not None:
+            server = session.serve_http(port=args.http)
+            if not args.quiet:
+                print(f"query API listening on {server.url}")
+        if args.input and args.follow:
+            session.tail_jsonl(args.input, poll_interval=args.poll_interval)
+            if not args.quiet:
+                print(f"tailing {args.input} "
+                      f"(windows of {args.batch_days} days)")
+        elif args.input:
+            documents = load_jsonl(args.input, session.vocabulary)
+            documents.sort(key=lambda d: d.timestamp)
+            if not documents:
+                print("no documents in input", file=sys.stderr)
+                return 1
+            for document in documents:
+                session.feed(document)
+            snapshot = session.flush()
+            if not args.quiet:
+                stats = snapshot.stats()
+                print(f"ingested {len(documents)} documents; snapshot "
+                      f"v{stats.version}: {stats.active_documents} active "
+                      f"docs in {stats.non_empty_clusters} clusters, "
+                      f"G={stats.clustering_index:.4f}")
+                for info in snapshot.top_clusters(5):
+                    print(f"  cluster {info.cluster_id:3d}: "
+                          f"{info.size:5d} docs")
+        if args.follow or server is not None:
+            try:
+                if args.duration is not None:
+                    time.sleep(args.duration)
+                else:  # pragma: no cover - interactive path
+                    threading.Event().wait()
+            except KeyboardInterrupt:  # pragma: no cover - interactive
+                if not args.quiet:
+                    print("shutting down")
+            if args.follow and not args.quiet:
+                final = session.flush().stats()
+                print(f"final snapshot v{final.version}: "
+                      f"{final.active_documents} active docs in "
+                      f"{final.non_empty_clusters} clusters")
+        if session.errors:
+            print(f"{len(session.errors)} batches rejected "
+                  f"(first: {session.errors[0]})", file=sys.stderr)
+    if args.checkpoint or args.resume:
+        target = args.checkpoint or args.resume
+        if not args.quiet:
+            print(f"checkpoint written to {target}")
+    return 0
+
+
 def _cmd_experiment1(args: argparse.Namespace) -> int:
     from .experiments.experiment1 import (
         ExperimentOneConfig,
@@ -381,6 +515,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "generate": _cmd_generate,
     "cluster": _cmd_cluster,
+    "serve": _cmd_serve,
     "experiment1": _cmd_experiment1,
     "experiment2": _cmd_experiment2,
     "report": _cmd_report,

@@ -17,7 +17,6 @@ keyword arguments on the individual constructors.
 from __future__ import annotations
 
 import dataclasses
-import warnings
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Sequence, Tuple
 
@@ -70,8 +69,9 @@ class ClustererConfig:
 _UNSET: Any = object()
 
 #: Positional parameter order of the pre-config constructors (after
-#: ``model``), kept so legacy positional calls still resolve — with a
-#: DeprecationWarning — instead of silently re-binding arguments.
+#: ``model``). Positional calls no longer resolve — they raise
+#: ``TypeError`` — but the order is kept so the error can tell the
+#: caller which keyword each stray positional maps to.
 LEGACY_INCREMENTAL_ORDER: Tuple[str, ...] = (
     "k", "delta", "max_iterations", "seed", "engine",
     "warm_start", "rescue_outliers", "recorder",
@@ -92,12 +92,12 @@ def resolve_clusterer_config(
     """Merge a constructor's inputs into one parameter dict.
 
     ``args`` are positional arguments beyond ``model``; a leading
-    :class:`ClustererConfig` is accepted there (the blessed call shape),
-    anything further is the legacy positional protocol and raises a
-    :class:`DeprecationWarning`. Precedence, lowest to highest:
-    dataclass defaults < ``config`` fields < legacy positionals <
-    explicit keywords. ``keyword_values`` entries equal to
-    :data:`_UNSET` mean "not passed".
+    :class:`ClustererConfig` is accepted there (the blessed call shape).
+    Anything further is the pre-config positional protocol, removed
+    after its deprecation cycle — it now raises :class:`TypeError` with
+    a migration hint. Precedence, lowest to highest: dataclass defaults
+    < ``config`` fields < explicit keywords. ``keyword_values`` entries
+    equal to :data:`_UNSET` mean "not passed".
     """
     positionals = list(args)
     if positionals and isinstance(positionals[0], ClustererConfig):
@@ -107,17 +107,16 @@ def resolve_clusterer_config(
                 f"config= keyword"
             )
         config = positionals.pop(0)
-    if len(positionals) > len(legacy_order):
-        raise TypeError(
-            f"{cls_name} takes at most {len(legacy_order)} positional "
-            f"arguments after model, got {len(positionals)}"
-        )
     if positionals:
-        warnings.warn(
-            f"{cls_name}: positional arguments beyond 'model' are "
-            f"deprecated; pass a ClustererConfig or keyword arguments",
-            DeprecationWarning,
-            stacklevel=3,
+        hint = ", ".join(
+            f"{name}=..." for name in legacy_order[: len(positionals)]
+        )
+        raise TypeError(
+            f"{cls_name} no longer accepts positional arguments beyond "
+            f"'model' (they were deprecated, now removed). Pass a "
+            f"ClustererConfig — {cls_name}(model, ClustererConfig(k=...)) "
+            f"— or keyword arguments ({hint}); applications should "
+            f"construct pipelines via repro.api.open_stream()"
         )
 
     resolved: Dict[str, Any] = {
@@ -130,12 +129,6 @@ def resolve_clusterer_config(
     if config is not None:
         for field in dataclasses.fields(ClustererConfig):
             resolved[field.name] = getattr(config, field.name)
-    for name, value in zip(legacy_order, positionals):
-        if keyword_values.get(name, _UNSET) is not _UNSET:
-            raise TypeError(
-                f"{cls_name} got multiple values for argument {name!r}"
-            )
-        resolved[name] = value
     for name, value in keyword_values.items():
         if value is not _UNSET:
             resolved[name] = value

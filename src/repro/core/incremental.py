@@ -64,8 +64,10 @@ class IncrementalClusterer:
     be packaged once in a :class:`~repro.core.ClustererConfig` and
     passed as the second argument (or ``config=``); pipeline-specific
     switches (``warm_start``, ``rescue_outliers``) stay keywords.
-    Positional arguments beyond ``model`` follow the pre-config
-    signature for compatibility but raise a :class:`DeprecationWarning`.
+    Positional arguments beyond ``model`` (the pre-config signature)
+    are no longer accepted and raise :class:`TypeError`; applications
+    should construct pipelines via :func:`repro.api.open_stream` (or
+    :func:`repro.api.build_clusterer` for batch experiments).
     """
 
     def __init__(

@@ -23,6 +23,7 @@ exactly that to land on a batch-prefix of the uninterrupted run.
 
 from __future__ import annotations
 
+import threading
 from pathlib import Path
 from types import TracebackType
 from typing import List, Optional, Type
@@ -76,6 +77,10 @@ class Checkpointer:
         self.recorder = resolve(recorder)
         self.durable = durable
         self._since_checkpoint = 0
+        # serializes record_batch/checkpoint against close()/abort():
+        # a service shutting down can race its writer's final commit
+        self._lock = threading.Lock()
+        self._closed = False
         self._write_checkpoint()
         self._journal = BatchJournal(
             (
@@ -93,18 +98,28 @@ class Checkpointer:
     def journal_path(self) -> Path:
         return self._journal.path
 
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` or :meth:`abort` has run."""
+        return self._closed
+
     def record_batch(
         self, documents: List[Document], at_time: float
     ) -> None:
         """Commit hook: journal the batch, checkpoint when due."""
-        self._journal.append(documents, at_time)
-        self.sequence += 1
-        self._since_checkpoint += 1
-        if self._since_checkpoint >= self.every:
-            self.checkpoint()
+        with self._lock:
+            self._journal.append(documents, at_time)
+            self.sequence += 1
+            self._since_checkpoint += 1
+            if self._since_checkpoint >= self.every:
+                self._checkpoint_locked()
 
     def checkpoint(self) -> None:
         """Write the checkpoint now and restart the journal against it."""
+        with self._lock:
+            self._checkpoint_locked()
+
+    def _checkpoint_locked(self) -> None:
         self._write_checkpoint()
         self._journal.rotate(
             self.sequence, self.clusterer.statistics.now
@@ -122,15 +137,38 @@ class Checkpointer:
     def close(self) -> None:
         """Flush a final checkpoint (if batches are pending) and stop.
 
-        The journal handle is closed even when the final checkpoint
-        write fails — its fsynced entries are the recovery path then.
+        Idempotent and thread-safe: concurrent or repeated calls (the
+        service shutdown path and a ``with`` block both closing, or a
+        close racing the writer's final ``record_batch``) serialize on
+        the internal lock and flush exactly once. The journal handle is
+        closed even when the final checkpoint write fails — its fsynced
+        entries are the recovery path then.
         """
-        if not self._journal.closed:
-            try:
-                if self._since_checkpoint:
-                    self.checkpoint()
-            finally:
-                self._journal.close()
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if not self._journal.closed:
+                try:
+                    if self._since_checkpoint:
+                        self._checkpoint_locked()
+                finally:
+                    self._journal.close()
+
+    def abort(self) -> None:
+        """Stop *without* the final checkpoint (crash simulation).
+
+        Closes the journal handle and nothing else: the on-disk state
+        is exactly what a hard kill would leave — a possibly-stale
+        checkpoint plus fsynced journal entries —
+        which is what :func:`~repro.durability.recover` replays.
+        Idempotent, like :meth:`close`.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._journal.close()
 
     def __enter__(self) -> "Checkpointer":
         return self

@@ -1,0 +1,140 @@
+"""Public journal tailing: iterate committed batches as they land.
+
+:func:`follow` turns the batch journal into a stream: it yields every
+committed batch beyond a starting sequence and then polls the file for
+more, so an external consumer — a warm-standby replica, an indexer, a
+monitoring probe — can observe exactly the batches the writer has
+durably acknowledged, in order, without touching the writer process.
+
+The journal is re-read from the start on every poll. That sounds
+wasteful but is the simple *correct* choice: journals rotate (restart
+against a new base) at every checkpoint, so they stay short, and a
+rotation mid-poll is indistinguishable from a torn write — both show up
+as an unreadable or restarted file that the next poll resolves. A torn
+*tail* (the writer crashed mid-append) is simply not yielded, matching
+:func:`read_journal`'s semantics; it never produces a partial batch.
+
+Gap semantics: if a poll finds the journal's base sequence *ahead* of
+the last yielded sequence (the journal rotated past this follower while
+it slept — at least one committed batch can no longer be read here),
+``follow`` raises :class:`~repro.exceptions.JournalError` rather than
+silently skipping. The consumer should run
+:func:`~repro.durability.recover` against the checkpoint and continue
+with :meth:`RecoveryResult.follow`, which starts exactly where the
+recovered state ends.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterator, Optional, Tuple
+
+from ..corpus.document import Document
+from ..exceptions import JournalError
+from ..persistence import record_to_document
+from ..text.vocabulary import Vocabulary
+from .atomic import PathLike
+from .journal import read_journal
+
+
+@dataclass(frozen=True)
+class FollowedBatch:
+    """One committed batch observed by :func:`follow`."""
+
+    #: The batch's journal sequence number (1-based, gapless).
+    sequence: int
+    #: The logical time the batch was processed at.
+    at_time: float
+    #: The batch's documents, decoded against the follower's vocabulary.
+    documents: Tuple[Document, ...]
+
+
+def follow(
+    path: PathLike,
+    poll_interval: float = 0.5,
+    *,
+    vocabulary: Optional[Vocabulary] = None,
+    after: int = 0,
+    stop: Optional[Callable[[], bool]] = None,
+    timeout: Optional[float] = None,
+) -> Iterator[FollowedBatch]:
+    """Yield committed batches from the journal at ``path``, then tail it.
+
+    Parameters
+    ----------
+    path:
+        The journal file (``Checkpointer.journal_path``, or
+        ``default_journal_path(checkpoint)``). May not exist yet.
+    poll_interval:
+        Seconds to sleep between polls once caught up.
+    vocabulary:
+        Vocabulary to intern the batch terms into. A fresh one is grown
+        when omitted — fine for observers, wrong for replicas (use
+        :meth:`RecoveryResult.follow`, which passes the recovered one).
+    after:
+        Yield only batches with ``sequence > after`` (default: all).
+    stop:
+        Optional callable polled between reads; return True to end the
+        iteration cleanly (e.g. ``lambda: done_event.is_set()``).
+    timeout:
+        Optional wall-clock bound in seconds: the iterator ends once it
+        has been idle — no new batch — for this long. ``None`` tails
+        forever (until ``stop`` fires).
+
+    Raises
+    ------
+    JournalError
+        When the journal has rotated past ``after`` — a committed batch
+        this follower has not seen is no longer in the file. Recover
+        from the checkpoint and continue from there.
+    """
+    if vocabulary is None:
+        vocabulary = Vocabulary()
+    last = int(after)
+    idle_since = time.monotonic()
+    while True:
+        if stop is not None and stop():
+            return
+        target = Path(path)
+        contents = None
+        if target.exists():
+            try:
+                contents = read_journal(target)
+            except JournalError:
+                # mid-rotation or torn header: the next poll sees
+                # either the finished rotation or the same — retry
+                contents = None
+        if contents is not None:
+            if contents.base_sequence > last:
+                raise JournalError(
+                    f"{target}: journal base sequence "
+                    f"{contents.base_sequence} is ahead of the last "
+                    f"followed batch {last}; the journal rotated past "
+                    f"this follower — re-run recover() and continue "
+                    f"with RecoveryResult.follow()"
+                )
+            progressed = False
+            for entry in contents.entries:
+                if entry.sequence <= last:
+                    continue
+                batch = tuple(
+                    record_to_document(record, vocabulary)
+                    for record in entry.records
+                )
+                yield FollowedBatch(
+                    sequence=entry.sequence,
+                    at_time=entry.at_time,
+                    documents=batch,
+                )
+                last = entry.sequence
+                progressed = True
+            if progressed:
+                idle_since = time.monotonic()
+                continue  # drained something: look again immediately
+        if timeout is not None and time.monotonic() - idle_since >= timeout:
+            return
+        if stop is not None and stop():
+            return
+        time.sleep(poll_interval)

@@ -51,3 +51,7 @@ class JournalError(ReproError):
 
 class VocabularyFrozenError(ReproError, RuntimeError):
     """A term was added to a vocabulary after it was frozen."""
+
+
+class ServiceClosedError(ReproError, RuntimeError):
+    """Work was submitted to a streaming service that has shut down."""

@@ -6,12 +6,14 @@ from .backends import (
     resolve_backend,
     unregister_backend,
 )
+from .frozen import FrozenStatistics
 from .model import ForgettingModel
 from .statistics import CorpusStatistics
 
 __all__ = [
     "ForgettingModel",
     "CorpusStatistics",
+    "FrozenStatistics",
     "register_backend",
     "unregister_backend",
     "available_backends",

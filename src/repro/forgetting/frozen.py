@@ -1,0 +1,128 @@
+"""Immutable point-in-time view of the corpus probability tables.
+
+:class:`FrozenStatistics` is the read-side twin of
+:class:`~repro.forgetting.statistics.CorpusStatistics`: the clock, the
+total document weight ``tdw`` (Eq. 3), and the positive term masses
+``S_k`` (Eq. 10) captured into plain numpy arrays at one instant, with
+the same query arithmetic (``Pr(t_k) = min(1, S_k/tdw)``, novelty idf
+``1/sqrt(Pr(t_k))`` — Eq. 10/14) evaluated over them.
+
+The freeze is cheap — two array copies, no per-document state — and the
+result is safe to hand to any number of concurrent readers: nothing in
+it aliases the live backend, so the single writer can keep decaying and
+inserting while readers score queries against the frozen tables. This
+is what :class:`repro.service.ClusterSnapshot` embeds so that
+``assign()`` on a published snapshot never touches live statistics.
+
+Construct via :meth:`CorpusStatistics.freeze`; this module lives inside
+``repro.forgetting`` because building the view requires the backend's
+term-mass table (REP005 keeps that access inside this package).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .._typing import FloatArray, IntArray
+
+
+@dataclass(frozen=True)
+class FrozenStatistics:
+    """Read-only snapshot of the decayed corpus probability tables.
+
+    Attributes
+    ----------
+    now:
+        The logical clock ``τ`` at freeze time (``None`` before the
+        first batch).
+    tdw:
+        Total document weight ``Σ dw_i`` (Eq. 3) at freeze time.
+    size:
+        Number of active documents at freeze time.
+    term_ids:
+        Sorted int64 ids of every term with positive mass.
+    term_masses:
+        float64 masses ``S_k`` aligned with ``term_ids``.
+    backend_name:
+        Name of the backend the tables were frozen from.
+    """
+
+    now: Optional[float]
+    tdw: float
+    size: int
+    term_ids: IntArray
+    term_masses: FloatArray
+    backend_name: str
+
+    def __post_init__(self) -> None:
+        # freeze the arrays for real: a reader cannot corrupt a
+        # published snapshot even by accident
+        self.term_ids.setflags(write=False)
+        self.term_masses.setflags(write=False)
+
+    @property
+    def n_terms(self) -> int:
+        """Number of terms with positive mass at freeze time."""
+        return int(self.term_ids.size)
+
+    def term_mass(self, term_id: int) -> float:
+        """Mass ``S_k`` of one term; 0.0 when unseen at freeze time."""
+        position = int(np.searchsorted(self.term_ids, term_id))
+        if (
+            position >= self.term_ids.size
+            or int(self.term_ids[position]) != term_id
+        ):
+            return 0.0
+        return float(self.term_masses[position])
+
+    def pr_term(self, term_id: int) -> float:
+        """Occurrence probability ``Pr(t_k)`` (Eq. 10); 0.0 if unseen.
+
+        Same arithmetic as the live
+        :meth:`~repro.forgetting.statistics.CorpusStatistics.pr_term`,
+        so frozen and live queries agree bit-for-bit at freeze time.
+        """
+        if self.tdw <= 0.0:
+            return 0.0
+        mass = self.term_mass(term_id)
+        if mass <= 0.0:
+            return 0.0
+        return min(1.0, mass / self.tdw)
+
+    def idf(self, term_id: int) -> float:
+        """Novelty idf ``1 / sqrt(Pr(t_k))`` (Eq. 14); 0.0 if unseen."""
+        pr = self.pr_term(term_id)
+        if pr <= 0.0:
+            return 0.0
+        return 1.0 / math.sqrt(pr)
+
+    def idf_array(self, term_ids: IntArray) -> FloatArray:
+        """Vectorised :meth:`idf` over an int64 term-id array.
+
+        The exact expression
+        :meth:`~repro.forgetting.statistics.CorpusStatistics.idf_array`
+        evaluates, applied to the frozen mass table.
+        """
+        if self.tdw <= 0.0 or term_ids.size == 0 or self.term_ids.size == 0:
+            return np.zeros(term_ids.shape, dtype=np.float64)
+        positions = np.searchsorted(self.term_ids, term_ids)
+        positions = np.minimum(positions, max(self.term_ids.size - 1, 0))
+        found = self.term_ids[positions] == term_ids
+        masses = np.where(found, self.term_masses[positions], 0.0)
+        pr = np.where(
+            masses > 0.0, np.minimum(1.0, masses / self.tdw), 0.0
+        )
+        return np.where(
+            pr > 0.0, 1.0 / np.sqrt(np.where(pr > 0.0, pr, 1.0)), 0.0
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FrozenStatistics(docs={self.size}, tdw={self.tdw:.4f}, "
+            f"terms={self.n_terms}, now={self.now}, "
+            f"backend={self.backend_name!r})"
+        )

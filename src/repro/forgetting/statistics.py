@@ -45,6 +45,7 @@ from ..exceptions import (
 )
 from ..obs import Recorder, Span, resolve
 from .backends import StatisticsBackend, resolve_backend
+from .frozen import FrozenStatistics
 from .model import ForgettingModel
 
 
@@ -385,6 +386,33 @@ class CorpusStatistics:
     def weights(self) -> Dict[str, float]:
         """``{doc_id: dw_i}`` snapshot."""
         return self._backend.weights()
+
+    def freeze(self) -> FrozenStatistics:
+        """Immutable point-in-time view of the probability tables.
+
+        Captures the clock, ``tdw`` and every positive term mass into
+        plain numpy arrays — O(vocabulary), no per-document state — so
+        concurrent readers can keep answering ``Pr(t_k)``/idf queries
+        (same arithmetic, bit-for-bit at freeze time) while this
+        object's single writer moves on. This is the statistics half of
+        a published :class:`repro.service.ClusterSnapshot`.
+        """
+        all_ids = np.array(
+            sorted(self._backend.term_ids()), dtype=np.int64
+        )
+        masses = (
+            self._backend.term_mass_array(all_ids)
+            if all_ids.size else np.zeros(0, dtype=np.float64)
+        )
+        keep = masses > 0.0
+        return FrozenStatistics(
+            now=self._now,
+            tdw=self._backend.tdw,
+            size=len(self._docs),
+            term_ids=np.ascontiguousarray(all_ids[keep]),
+            term_masses=np.ascontiguousarray(masses[keep]),
+            backend_name=self.backend_name,
+        )
 
     def validate(self, rel_tol: float = 1e-6) -> None:
         """Self-check: stored aggregates match a from-scratch recompute.

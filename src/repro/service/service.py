@@ -1,0 +1,549 @@
+"""The streaming service: one async writer, lock-free readers.
+
+:class:`ClusterService` wraps an :class:`~repro.core.incremental.
+IncrementalClusterer` in a long-running single-writer loop:
+
+* **Ingestion** is serialized through an :class:`asyncio.Queue` owned by
+  a background event-loop thread. Producers (:meth:`add`, the
+  :meth:`feed` windower, the :meth:`tail_jsonl` file tailer, the HTTP
+  endpoint) enqueue batches; a single writer coroutine drains them and
+  drives ``process_batch`` in a one-thread executor so the loop stays
+  responsive. The queue is bounded — a full queue blocks producers,
+  which is the backpressure story.
+* **Publication** rides the clusterer's transactional commit hooks:
+  after a batch commits (and after the optional
+  :class:`~repro.durability.Checkpointer` journals it, so the snapshot
+  version *is* the journal sequence), the writer builds an immutable
+  :class:`~repro.service.snapshot.ClusterSnapshot` and installs it with
+  a single attribute assignment. That reference swap is atomic under
+  CPython, so readers either see the old snapshot or the new one —
+  never a half-committed batch — without taking any lock.
+* **Reads** (:meth:`snapshot`, :meth:`assign`, :meth:`top_clusters`,
+  :meth:`members`, :meth:`stats`) grab the current snapshot reference
+  and answer from its frozen arrays. They share nothing mutable with
+  the writer and never block it (or each other).
+
+Construct services through :func:`repro.api.open_stream`, which wires
+the clusterer, durability, and the text front-end; this class is the
+engine room.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from ..corpus.document import Document
+from ..exceptions import ConfigurationError, ServiceClosedError
+from ..obs import Span
+from .snapshot import (
+    ClusterInfo,
+    ClusterSnapshot,
+    Query,
+    QueryAssignment,
+    SnapshotStats,
+)
+
+if TYPE_CHECKING:
+    from ..core.incremental import IncrementalClusterer
+    from ..durability.checkpointer import Checkpointer
+    from ..text.pipeline import TextPipeline
+    from ..text.vocabulary import Vocabulary
+    from .web import ServiceHTTPServer
+
+PathLike = Union[str, Path]
+
+#: Queue sentinel telling the writer coroutine to exit.
+_STOP = object()
+
+
+class ClusterService:
+    """Long-running ingest-and-query service over one clusterer.
+
+    Parameters
+    ----------
+    clusterer:
+        The (already constructed) incremental pipeline. The service
+        takes ownership of its commit hooks; nothing else should feed
+        it batches while the service is open.
+    checkpointer:
+        Optional durability sidecar. When present, its
+        ``record_batch`` hook is registered *before* the publish hook,
+        so every published snapshot's ``version`` equals the journal
+        sequence of the batch it reflects — the invariant the recovery
+        tests lean on.
+    vocabulary / pipeline:
+        Text front-end attached to published snapshots so readers can
+        ``assign("raw text")``; also required by :meth:`tail_jsonl`.
+    window_days:
+        Width of the logical-time window :meth:`feed` accumulates into
+        (same half-open semantics as
+        :func:`repro.corpus.streams.iter_batches`). ``None`` disables
+        :meth:`feed`; :meth:`add` is always available.
+    queue_size:
+        Bound of the ingestion queue (producers block when full).
+    version:
+        Initial snapshot version for services resuming from recovered
+        state; defaults to the checkpointer's sequence (or 0).
+    """
+
+    def __init__(
+        self,
+        clusterer: "IncrementalClusterer",
+        checkpointer: Optional["Checkpointer"] = None,
+        vocabulary: Optional["Vocabulary"] = None,
+        pipeline: Optional["TextPipeline"] = None,
+        window_days: Optional[float] = None,
+        queue_size: int = 64,
+        version: Optional[int] = None,
+    ) -> None:
+        if queue_size < 1:
+            raise ConfigurationError("queue_size must be >= 1")
+        if window_days is not None and window_days <= 0:
+            raise ConfigurationError("window_days must be positive")
+        self._clusterer = clusterer
+        self._checkpointer = checkpointer
+        self._vocabulary = vocabulary
+        self._pipeline = pipeline
+        self._window_days = window_days
+        self._queue_size = queue_size
+        self._recorder = clusterer.recorder
+
+        if version is None:
+            version = checkpointer.sequence if checkpointer is not None else 0
+        # the version-0 (or resumed-sequence) snapshot: readers get
+        # answers from the instant the service opens
+        self._snapshot: ClusterSnapshot = ClusterSnapshot.from_clusterer(
+            version, clusterer, vocabulary=vocabulary, pipeline=pipeline
+        )
+        self._published_monotonic = time.monotonic()
+        self._reader_queries = 0  # best-effort count; races are fine
+        self._batches_ingested = 0
+        self._errors: List[BaseException] = []
+
+        # feed() windowing state, guarded by _feed_lock
+        self._feed_lock = threading.Lock()
+        self._window: List[Document] = []
+        self._window_end: Optional[float] = None
+
+        self._close_lock = threading.Lock()
+        self._closed = False
+        self._killed = False
+        self._tail_stop = threading.Event()
+        self._tail_thread: Optional[threading.Thread] = None
+        self._http_server: Optional["ServiceHTTPServer"] = None
+
+        if checkpointer is not None:
+            clusterer.add_commit_hook(checkpointer.record_batch)
+        clusterer.add_commit_hook(self._publish)
+
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._queue: Optional["asyncio.Queue[Any]"] = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run_loop, name="repro-service-writer", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait()
+
+    # -- writer machinery -------------------------------------------------
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        # the queue must be created on the loop thread: pre-3.10
+        # asyncio primitives bind the event loop at construction
+        self._queue = asyncio.Queue(maxsize=self._queue_size)
+        self._loop = loop
+        self._ready.set()
+        try:
+            loop.run_until_complete(self._writer())
+        finally:
+            asyncio.set_event_loop(None)
+            loop.close()
+
+    async def _writer(self) -> None:
+        assert self._loop is not None and self._queue is not None
+        executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-service-ingest"
+        )
+        try:
+            while True:
+                item = await self._queue.get()
+                try:
+                    if item is _STOP:
+                        break
+                    if self._killed:
+                        continue  # crash simulation: drop queued work
+                    documents, at_time, enqueued = item
+                    if self._recorder.enabled:
+                        self._recorder.gauge(
+                            "service.ingest_lag_seconds",
+                            time.monotonic() - enqueued,
+                        )
+                        self._recorder.gauge(
+                            "service.queue_depth", self._queue.qsize()
+                        )
+                    try:
+                        await self._loop.run_in_executor(
+                            executor, self._ingest, documents, at_time
+                        )
+                    except Exception as exc:
+                        # the clusterer rolled the batch back; no
+                        # snapshot was (or will be) published for it
+                        self._errors.append(exc)
+                        if self._recorder.enabled:
+                            self._recorder.counter("service.batches_rejected")
+                finally:
+                    self._queue.task_done()
+        finally:
+            executor.shutdown(wait=True)
+
+    def _ingest(
+        self, documents: Sequence[Document], at_time: float
+    ) -> None:
+        with Span(self._recorder, "service.ingest",
+                  {"batch_size": len(documents)}):
+            self._clusterer.process_batch(list(documents), at_time=at_time)
+        self._batches_ingested += 1
+
+    def _publish(self, documents: List[Document], at_time: float) -> None:
+        """Commit hook: build and atomically install the next snapshot.
+
+        Runs on the writer thread, after the checkpointer's hook — so
+        ``checkpointer.sequence`` already names this batch and the
+        published version equals the journal sequence.
+        """
+        if self._checkpointer is not None:
+            version = self._checkpointer.sequence
+        else:
+            version = self._snapshot.version + 1
+        snapshot = ClusterSnapshot.from_clusterer(
+            version, self._clusterer,
+            vocabulary=self._vocabulary, pipeline=self._pipeline,
+        )
+        # the atomic publish: a single reference assignment
+        self._snapshot = snapshot
+        self._published_monotonic = time.monotonic()
+        if self._recorder.enabled:
+            self._recorder.counter("service.snapshots_published")
+            self._recorder.gauge("service.snapshot_version", version)
+
+    def _enqueue(
+        self, documents: Sequence[Document], at_time: float
+    ) -> None:
+        assert self._loop is not None and self._queue is not None
+        queue = self._queue
+        item = (tuple(documents), float(at_time), time.monotonic())
+        # blocks (backpressure) when the bounded queue is full
+        asyncio.run_coroutine_threadsafe(queue.put(item), self._loop).result()
+
+    # -- ingestion API ----------------------------------------------------
+
+    def add(
+        self, documents: Iterable[Document], at_time: float
+    ) -> None:
+        """Enqueue one batch for ingestion at logical time ``at_time``.
+
+        Returns as soon as the batch is queued (or blocks briefly under
+        backpressure); call :meth:`flush` to wait for it to commit.
+        """
+        self._require_open()
+        batch = tuple(documents)
+        if not batch:
+            return
+        self._enqueue(batch, at_time)
+
+    def feed(self, document: Document) -> None:
+        """Stream one document through the service's time windower.
+
+        Documents accumulate into half-open ``window_days``-wide
+        windows anchored at the first document's timestamp (exactly
+        :func:`~repro.corpus.streams.iter_batches`); a window is
+        submitted with ``at_time`` = its end as soon as a document
+        beyond it arrives, or on :meth:`flush`/:meth:`close`. Feed in
+        timestamp order from a single producer.
+        """
+        self._require_open()
+        if self._window_days is None:
+            raise ConfigurationError(
+                "feed() needs window_days; pass it to open_stream() or "
+                "use add() with explicit batch times"
+            )
+        with self._feed_lock:
+            if self._window_end is None:
+                self._window_end = document.timestamp + self._window_days
+            while document.timestamp >= self._window_end:
+                self._submit_window_locked()
+            self._window.append(document)
+
+    def _submit_window_locked(self) -> None:
+        """Submit the current window (if any) and advance one window."""
+        assert self._window_days is not None and self._window_end is not None
+        if self._window:
+            batch = self._window
+            self._window = []
+            self._enqueue(batch, self._window_end)
+        self._window_end += self._window_days
+
+    def flush(self) -> ClusterSnapshot:
+        """Submit any partial window, drain the queue, return the result.
+
+        On return every batch enqueued before the call has committed
+        (or been rejected — see :attr:`errors`) and the returned
+        snapshot reflects all of them.
+        """
+        self._require_open()
+        self._drain()
+        return self._snapshot
+
+    def _drain(self) -> None:
+        with self._feed_lock:
+            if self._window and self._window_end is not None:
+                batch = self._window
+                self._window = []
+                end = self._window_end
+                self._window_end += self._window_days or 0.0
+                self._enqueue(batch, end)
+        assert self._loop is not None and self._queue is not None
+        asyncio.run_coroutine_threadsafe(
+            self._queue.join(), self._loop
+        ).result()
+
+    def tail_jsonl(
+        self, path: PathLike, poll_interval: float = 0.5
+    ) -> None:
+        """Follow a JSONL corpus file, feeding appended records.
+
+        A daemon thread polls ``path`` (which may not exist yet) and
+        :meth:`feed`\\ s every complete appended line as a document —
+        the same record shape as :mod:`repro.corpus.loaders`, with
+        terms interned into the service vocabulary. Stops at
+        :meth:`close`.
+        """
+        self._require_open()
+        if self._vocabulary is None:
+            raise ConfigurationError(
+                "tail_jsonl() needs a vocabulary to intern terms; pass "
+                "one to open_stream()"
+            )
+        if self._window_days is None:
+            raise ConfigurationError("tail_jsonl() needs window_days")
+        if self._tail_thread is not None:
+            raise ConfigurationError("already tailing a file")
+        self._tail_thread = threading.Thread(
+            target=self._tail_loop,
+            args=(Path(path), float(poll_interval)),
+            name="repro-service-tailer",
+            daemon=True,
+        )
+        self._tail_thread.start()
+
+    def _tail_loop(self, path: Path, poll_interval: float) -> None:
+        from ..persistence import record_to_document
+
+        offset = 0
+        pending = ""
+        while not self._tail_stop.is_set():
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    handle.seek(offset)
+                    chunk = handle.read()
+                    offset = handle.tell()
+            except OSError:
+                chunk = ""  # not created yet (or rotated away): retry
+            if chunk:
+                pending += chunk
+                *lines, pending = pending.split("\n")
+                for line in lines:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                        assert self._vocabulary is not None
+                        document = record_to_document(
+                            record, self._vocabulary
+                        )
+                        self.feed(document)
+                    except ServiceClosedError:
+                        return
+                    except Exception as exc:
+                        self._errors.append(exc)
+                        if self._recorder.enabled:
+                            self._recorder.counter("service.tail_errors")
+                continue  # drained something: poll again immediately
+            self._tail_stop.wait(poll_interval)
+
+    def serve_http(self, port: int = 0, host: str = "127.0.0.1"
+                   ) -> "ServiceHTTPServer":
+        """Expose the query API over HTTP (stdlib server, no deps).
+
+        Returns the running server; its ``port`` attribute reports the
+        bound port (useful with ``port=0``). Shut down automatically at
+        :meth:`close`.
+        """
+        self._require_open()
+        if self._http_server is not None:
+            raise ConfigurationError("HTTP endpoint already running")
+        from .web import ServiceHTTPServer
+
+        self._http_server = ServiceHTTPServer(self, host=host, port=port)
+        self._http_server.start()
+        return self._http_server
+
+    # -- read API (lock-free) ---------------------------------------------
+
+    def snapshot(self) -> ClusterSnapshot:
+        """The latest published snapshot (immutable; keep it as long as
+        you like — it never changes under you)."""
+        self._reader_queries += 1
+        return self._snapshot
+
+    def assign(self, query: Query) -> QueryAssignment:
+        """Score ``query`` against the latest snapshot. Lock-free."""
+        self._reader_queries += 1
+        return self._snapshot.assign(query)
+
+    def top_clusters(self, n: int = 10) -> List[ClusterInfo]:
+        """Largest clusters of the latest snapshot. Lock-free."""
+        self._reader_queries += 1
+        return self._snapshot.top_clusters(n)
+
+    def members(self, cluster_id: int) -> Tuple[str, ...]:
+        """Members of one cluster in the latest snapshot. Lock-free."""
+        self._reader_queries += 1
+        return self._snapshot.members(cluster_id)
+
+    def stats(self) -> SnapshotStats:
+        """Stats of the latest snapshot; also emits service gauges."""
+        self._reader_queries += 1
+        snapshot = self._snapshot
+        if self._recorder.enabled:
+            self._recorder.gauge(
+                "service.snapshot_age_seconds",
+                time.monotonic() - self._published_monotonic,
+            )
+            self._recorder.gauge(
+                "service.reader_queries", self._reader_queries
+            )
+        return snapshot.stats()
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Version of the latest published snapshot."""
+        return self._snapshot.version
+
+    @property
+    def vocabulary(self) -> Optional["Vocabulary"]:
+        """The vocabulary documents are interned into (if attached)."""
+        return self._vocabulary
+
+    @property
+    def errors(self) -> Tuple[BaseException, ...]:
+        """Exceptions from rejected batches (each batch rolled back)."""
+        return tuple(self._errors)
+
+    @property
+    def batches_ingested(self) -> int:
+        """Number of batches committed since the service opened."""
+        return self._batches_ingested
+
+    @property
+    def reader_queries(self) -> int:
+        """Best-effort count of read-side queries answered."""
+        return self._reader_queries
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ServiceClosedError("service is closed")
+
+    # -- shutdown ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Drain, checkpoint, and stop. Idempotent and thread-safe.
+
+        Any partial :meth:`feed` window is submitted, the queue is
+        drained, the checkpointer (if any) takes a final checkpoint,
+        and the writer thread exits. Reads keep working on the final
+        snapshot after close; ingestion raises
+        :class:`~repro.exceptions.ServiceClosedError`.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._stop_sidecars()
+        self._drain()
+        self._stop_writer()
+        if self._checkpointer is not None:
+            self._checkpointer.close()
+
+    def kill(self) -> None:
+        """Simulate a crash: stop *without* draining or checkpointing.
+
+        Batches already committed are journaled (their snapshots were
+        published); queued-but-uncommitted batches are dropped and the
+        journal is left without a final checkpoint — exactly the state
+        :func:`repro.durability.recover` is built to pick up. Test and
+        drill hook; production shutdown is :meth:`close`.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._killed = True
+        self._stop_sidecars()
+        self._stop_writer()
+        if self._checkpointer is not None:
+            self._checkpointer.abort()
+
+    def _stop_sidecars(self) -> None:
+        self._tail_stop.set()
+        if self._tail_thread is not None:
+            self._tail_thread.join()
+            self._tail_thread = None
+        if self._http_server is not None:
+            self._http_server.stop()
+            self._http_server = None
+
+    def _stop_writer(self) -> None:
+        if self._loop is not None and self._queue is not None:
+            queue = self._queue
+            asyncio.run_coroutine_threadsafe(
+                queue.put(_STOP), self._loop
+            ).result()
+        self._thread.join()
+
+    def __enter__(self) -> "ClusterService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return (
+            f"ClusterService({state}, version={self._snapshot.version}, "
+            f"batches={self._batches_ingested})"
+        )

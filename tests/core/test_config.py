@@ -66,6 +66,8 @@ class TestClustererConfig:
 
 
 class TestLegacyPositional:
+    """The pre-config positional protocol is gone: TypeError, not warning."""
+
     def test_keyword_calls_do_not_warn(self, model, recwarn):
         IncrementalClusterer(model, k=4, seed=0)
         NonIncrementalClusterer(model, k=4, seed=0)
@@ -74,35 +76,27 @@ class TestLegacyPositional:
             if issubclass(w.category, DeprecationWarning)
         ]
 
-    def test_config_positional_does_not_warn(self, model, recwarn):
-        IncrementalClusterer(model, ClustererConfig(k=4))
-        assert not [
-            w for w in recwarn.list
-            if issubclass(w.category, DeprecationWarning)
-        ]
+    def test_config_positional_is_the_blessed_shape(self, model, recwarn):
+        clusterer = IncrementalClusterer(model, ClustererConfig(k=4))
+        assert clusterer.kmeans.k == 4
+        assert not recwarn.list
 
-    def test_incremental_positional_warns_and_resolves(self, model):
-        with pytest.warns(DeprecationWarning, match="positional"):
-            clusterer = IncrementalClusterer(
-                model, 5, 0.02, 10, 3, "sparse", False
-            )
-        assert clusterer.kmeans.k == 5
-        assert clusterer.kmeans.delta == 0.02
-        assert clusterer.kmeans.max_iterations == 10
-        assert clusterer.kmeans.seed == 3
-        assert clusterer.kmeans.engine == "sparse"
-        assert clusterer.warm_start is False
+    def test_incremental_positionals_raise_with_migration_hint(self, model):
+        with pytest.raises(TypeError) as excinfo:
+            IncrementalClusterer(model, 5, 0.02, 10, 3, "sparse", False)
+        message = str(excinfo.value)
+        assert "no longer accepts positional arguments" in message
+        # the hint names the keywords the stray positionals map to
+        assert "k=..." in message and "engine=..." in message
+        assert "repro.api.open_stream" in message
 
-    def test_nonincremental_positional_warns_and_resolves(self, model):
-        with pytest.warns(DeprecationWarning, match="positional"):
-            clusterer = NonIncrementalClusterer(model, 5, 0.02)
-        assert clusterer.kmeans.k == 5
-        assert clusterer.kmeans.delta == 0.02
+    def test_nonincremental_positionals_raise(self, model):
+        with pytest.raises(TypeError, match="no longer accepts positional"):
+            NonIncrementalClusterer(model, 5, 0.02)
 
-    def test_positional_keyword_conflict(self, model):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(TypeError, match="multiple values"):
-                IncrementalClusterer(model, 5, k=5)
+    def test_single_positional_raises(self, model):
+        with pytest.raises(TypeError, match="ClustererConfig"):
+            IncrementalClusterer(model, 5, k=5)
 
     def test_too_many_positionals(self, model):
         with pytest.raises(TypeError, match="positional"):

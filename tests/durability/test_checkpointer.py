@@ -157,3 +157,171 @@ class TestCommitHookContract:
         assert recovery.sequence == 2
         references = reference_states(batches)
         assert_state_matches(recovery.clusterer, references[2])
+
+
+class TestShutdown:
+    """close()/abort() semantics, including racing a live writer."""
+
+    def test_close_is_idempotent(self, stream, tmp_path):
+        vocabulary, batches = stream
+        clusterer = make_clusterer()
+        checkpointer = Checkpointer(
+            clusterer, vocabulary, tmp_path / "state.json", every=3
+        )
+        clusterer.add_commit_hook(checkpointer.record_batch)
+        clusterer.process_batch(batches[0][1], at_time=batches[0][0])
+        checkpointer.close()
+        assert checkpointer.closed
+        checkpointer.close()  # second close is a clean no-op
+        assert checkpoint_sequence(checkpointer.checkpoint_path) == 1
+
+    def test_close_mid_window_flushes_pending_checkpoint(
+        self, stream, tmp_path
+    ):
+        """every=3 with 2 committed batches: the periodic checkpoint
+        never fired, so close() must write one — otherwise those
+        batches exist only in the journal."""
+        vocabulary, batches = stream
+        clusterer = make_clusterer()
+        checkpointer = Checkpointer(
+            clusterer, vocabulary, tmp_path / "state.json", every=3
+        )
+        clusterer.add_commit_hook(checkpointer.record_batch)
+        for at_time, batch in batches[:2]:
+            clusterer.process_batch(batch, at_time=at_time)
+        assert checkpoint_sequence(checkpointer.checkpoint_path) == 0
+        checkpointer.close()
+        assert checkpoint_sequence(checkpointer.checkpoint_path) == 2
+        # and the journal was rotated against the final checkpoint
+        contents = read_journal(checkpointer.journal_path)
+        assert contents.base_sequence == 2
+        assert contents.entries == ()
+
+    def test_close_without_pending_batches_writes_nothing_new(
+        self, stream, tmp_path
+    ):
+        vocabulary, batches = stream
+        clusterer = make_clusterer()
+        checkpointer = Checkpointer(
+            clusterer, vocabulary, tmp_path / "state.json", every=1
+        )
+        clusterer.add_commit_hook(checkpointer.record_batch)
+        clusterer.process_batch(batches[0][1], at_time=batches[0][0])
+        before = checkpointer.checkpoint_path.stat().st_mtime_ns
+        checkpointer.close()
+        assert checkpointer.checkpoint_path.stat().st_mtime_ns == before
+
+    def test_concurrent_close_closes_exactly_once(self, stream, tmp_path):
+        """Two racing closers (the service shutdown path plus a with-
+        block exit) must not double-flush or error."""
+        import threading
+
+        vocabulary, batches = stream
+        clusterer = make_clusterer()
+        checkpointer = Checkpointer(
+            clusterer, vocabulary, tmp_path / "state.json", every=100
+        )
+        clusterer.add_commit_hook(checkpointer.record_batch)
+        for at_time, batch in batches[:2]:
+            clusterer.process_batch(batch, at_time=at_time)
+
+        errors = []
+
+        def closer() -> None:
+            try:
+                checkpointer.close()
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=closer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert not errors
+        assert checkpointer.closed
+        assert checkpoint_sequence(checkpointer.checkpoint_path) == 2
+
+    def test_record_batch_racing_close_never_tears(self, stream, tmp_path):
+        """A writer committing its final batch while close() runs: the
+        batch is either fully journaled before the final checkpoint, or
+        it fails — never half-written."""
+        import threading
+
+        vocabulary, batches = stream
+        clusterer = make_clusterer()
+        checkpointer = Checkpointer(
+            clusterer, vocabulary, tmp_path / "state.json", every=100
+        )
+        clusterer.add_commit_hook(checkpointer.record_batch)
+        clusterer.process_batch(batches[0][1], at_time=batches[0][0])
+
+        start = threading.Barrier(2)
+        outcome = {}
+
+        def commit() -> None:
+            start.wait()
+            try:
+                clusterer.process_batch(
+                    batches[1][1], at_time=batches[1][0]
+                )
+                outcome["committed"] = True
+            except BaseException:  # noqa: BLE001 - journal closed race
+                outcome["committed"] = False
+
+        def shutdown() -> None:
+            start.wait()
+            checkpointer.close()
+
+        threads = [
+            threading.Thread(target=commit),
+            threading.Thread(target=shutdown),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+
+        # whatever interleaving happened, the on-disk state is one of
+        # the two consistent outcomes
+        sequence = checkpoint_sequence(checkpointer.checkpoint_path)
+        if outcome["committed"] and sequence == 2:
+            pass  # batch won the race and made the final checkpoint
+        else:
+            assert sequence == 1  # close won; checkpoint holds batch 1
+
+    def test_abort_skips_final_checkpoint(self, stream, tmp_path):
+        """abort() is the crash hatch: journal entries survive, the
+        checkpoint stays stale, and recovery replays the difference."""
+        from repro import recover
+
+        vocabulary, batches = stream
+        clusterer = make_clusterer()
+        checkpointer = Checkpointer(
+            clusterer, vocabulary, tmp_path / "state.json", every=100
+        )
+        clusterer.add_commit_hook(checkpointer.record_batch)
+        for at_time, batch in batches[:3]:
+            clusterer.process_batch(batch, at_time=at_time)
+        checkpointer.abort()
+        assert checkpointer.closed
+        # checkpoint is the construction-time image...
+        assert checkpoint_sequence(checkpointer.checkpoint_path) == 0
+        # ...but the journal kept every committed batch
+        contents = read_journal(checkpointer.journal_path)
+        assert [e.sequence for e in contents.entries] == [1, 2, 3]
+        recovery = recover(tmp_path / "state.json")
+        assert recovery.sequence == 3
+        assert_state_matches(
+            recovery.clusterer, reference_states(batches)[3]
+        )
+
+    def test_record_batch_after_close_raises(self, stream, tmp_path):
+        vocabulary, batches = stream
+        clusterer = make_clusterer()
+        checkpointer = Checkpointer(
+            clusterer, vocabulary, tmp_path / "state.json"
+        )
+        checkpointer.close()
+        with pytest.raises(Exception):
+            checkpointer.record_batch(batches[0][1], batches[0][0])

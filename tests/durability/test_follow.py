@@ -1,0 +1,190 @@
+"""follow(): the public committed-batch iterator, and replica resume."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import Checkpointer, Vocabulary
+from repro.durability import FollowedBatch, follow, recover
+from repro.exceptions import JournalError
+
+from .conftest import (
+    assert_state_matches,
+    build_batches,
+    make_clusterer,
+    reference_states,
+)
+
+
+@pytest.fixture
+def checkpointed_run(tmp_path):
+    """A live checkpointed run plus helpers to push batches through it."""
+    vocabulary, batches = build_batches(days=6)
+    clusterer = make_clusterer()
+    checkpointer = Checkpointer(
+        clusterer, vocabulary, tmp_path / "state.json", every=100
+    )
+    clusterer.add_commit_hook(checkpointer.record_batch)
+    return vocabulary, batches, clusterer, checkpointer
+
+
+class TestFollow:
+    def test_yields_committed_batches_in_order(self, checkpointed_run):
+        vocabulary, batches, clusterer, checkpointer = checkpointed_run
+        for at_time, batch in batches[:4]:
+            clusterer.process_batch(batch, at_time=at_time)
+
+        observed = list(follow(
+            checkpointer.journal_path, poll_interval=0.01, timeout=0.05
+        ))
+        assert [b.sequence for b in observed] == [1, 2, 3, 4]
+        assert [b.at_time for b in observed] == [
+            at_time for at_time, _ in batches[:4]
+        ]
+        for followed, (_, batch) in zip(observed, batches):
+            assert isinstance(followed, FollowedBatch)
+            assert [d.doc_id for d in followed.documents] == [
+                d.doc_id for d in batch
+            ]
+
+    def test_after_skips_already_seen(self, checkpointed_run):
+        _, batches, clusterer, checkpointer = checkpointed_run
+        for at_time, batch in batches[:4]:
+            clusterer.process_batch(batch, at_time=at_time)
+        observed = list(follow(
+            checkpointer.journal_path, poll_interval=0.01,
+            timeout=0.05, after=2,
+        ))
+        assert [b.sequence for b in observed] == [3, 4]
+
+    def test_tails_a_live_writer(self, checkpointed_run):
+        vocabulary, batches, clusterer, checkpointer = checkpointed_run
+        clusterer.process_batch(batches[0][1], at_time=batches[0][0])
+        seen = []
+        done = threading.Event()
+
+        def consume() -> None:
+            for batch in follow(
+                checkpointer.journal_path, poll_interval=0.01,
+                stop=done.is_set,
+            ):
+                seen.append(batch.sequence)
+
+        thread = threading.Thread(target=consume, daemon=True)
+        thread.start()
+        for at_time, batch in batches[1:4]:
+            clusterer.process_batch(batch, at_time=at_time)
+        deadline = 200
+        while len(seen) < 4 and deadline:
+            threading.Event().wait(0.02)
+            deadline -= 1
+        done.set()
+        thread.join(timeout=5.0)
+        assert seen == [1, 2, 3, 4]
+
+    def test_decodes_into_supplied_vocabulary(self, checkpointed_run):
+        vocabulary, batches, clusterer, checkpointer = checkpointed_run
+        clusterer.process_batch(batches[0][1], at_time=batches[0][0])
+        mine = Vocabulary()
+        observed = list(follow(
+            checkpointer.journal_path, poll_interval=0.01,
+            timeout=0.05, vocabulary=mine,
+        ))
+        original = {
+            term_id: vocabulary.term(term_id)
+            for doc in batches[0][1]
+            for term_id in doc.term_counts
+        }
+        for doc, followed in zip(batches[0][1], observed[0].documents):
+            got = {
+                mine.term(tid): count
+                for tid, count in followed.term_counts.items()
+            }
+            want = {
+                original[tid]: count
+                for tid, count in doc.term_counts.items()
+            }
+            assert got == want
+
+    def test_rotation_gap_raises(self, checkpointed_run):
+        _, batches, clusterer, checkpointer = checkpointed_run
+        for at_time, batch in batches[:2]:
+            clusterer.process_batch(batch, at_time=at_time)
+        # checkpoint now: the journal rotates to base_sequence=2, so a
+        # follower that saw nothing (after=0) has lost batches 1..2
+        checkpointer.checkpoint()
+        with pytest.raises(JournalError, match="rotated past"):
+            list(follow(
+                checkpointer.journal_path, poll_interval=0.01,
+                timeout=0.05,
+            ))
+
+    def test_stop_ends_iteration(self, checkpointed_run):
+        _, batches, clusterer, checkpointer = checkpointed_run
+        clusterer.process_batch(batches[0][1], at_time=batches[0][0])
+        observed = list(follow(
+            checkpointer.journal_path, poll_interval=0.01,
+            stop=lambda: True,
+        ))
+        assert observed == []  # stop fires before the first poll
+
+    def test_missing_journal_waits_not_raises(self, tmp_path):
+        observed = list(follow(
+            tmp_path / "nothing.journal", poll_interval=0.01,
+            timeout=0.05,
+        ))
+        assert observed == []
+
+
+class TestReplica:
+    def test_recover_follow_apply_tracks_the_writer(self, tmp_path):
+        """The warm-standby loop: recover a checkpoint, then absorb the
+        batches a live writer keeps committing — state stays equal."""
+        vocabulary, batches = build_batches(days=6)
+        references = reference_states(batches)
+
+        clusterer = make_clusterer()
+        checkpointer = Checkpointer(
+            clusterer, vocabulary, tmp_path / "state.json", every=100
+        )
+        clusterer.add_commit_hook(checkpointer.record_batch)
+        for at_time, batch in batches[:2]:
+            clusterer.process_batch(batch, at_time=at_time)
+
+        replica = recover(tmp_path / "state.json")
+        assert replica.sequence == 2
+        assert_state_matches(replica.clusterer, references[2])
+
+        # writer commits more while the replica is alive
+        for at_time, batch in batches[2:5]:
+            clusterer.process_batch(batch, at_time=at_time)
+
+        for batch in replica.follow(poll_interval=0.01, timeout=0.05):
+            replica.apply(batch)
+        assert replica.sequence == 5
+        assert replica.replayed_batches == 5  # 2 at recover + 3 followed
+        assert_state_matches(replica.clusterer, references[5])
+
+    def test_apply_out_of_order_raises(self, tmp_path):
+        vocabulary, batches = build_batches(days=6)
+        clusterer = make_clusterer()
+        checkpointer = Checkpointer(
+            clusterer, vocabulary, tmp_path / "state.json", every=100
+        )
+        clusterer.add_commit_hook(checkpointer.record_batch)
+        for at_time, batch in batches[:3]:
+            clusterer.process_batch(batch, at_time=at_time)
+
+        replica = recover(tmp_path / "state.json")
+        later = list(follow(
+            checkpointer.journal_path, poll_interval=0.01,
+            timeout=0.05, after=replica.sequence,
+        ))
+        assert later == []  # replica already caught up
+        stale = FollowedBatch(
+            sequence=replica.sequence + 2, at_time=99.0, documents=()
+        )
+        with pytest.raises(JournalError, match="in order"):
+            replica.apply(stale)

@@ -122,6 +122,34 @@ def test_rep003_suppression_comment():
     assert codes(CORE_PATH, source) == []
 
 
+def test_rep003_fires_on_pipeline_construction_outside_library():
+    source = (
+        "from repro import IncrementalClusterer\n"
+        "clusterer = IncrementalClusterer(model, k=4)\n"
+    )
+    assert "REP003" in codes("apps/indexer/main.py", source)
+    assert "REP003" in codes(
+        "scripts/run.py", "c = NonIncrementalClusterer(model, k=4)\n"
+    )
+
+
+def test_rep003_allows_pipeline_construction_inside_library_and_tests():
+    source = "clusterer = IncrementalClusterer(model, config)\n"
+    assert codes("src/repro/api.py", source) == []
+    assert codes(NEUTRAL_PATH, source) == []
+    assert codes(TEST_PATH, source) == []
+
+
+def test_rep003_pipeline_message_points_to_api():
+    violations = lint_source(
+        "apps/main.py", "c = IncrementalClusterer(model, k=4)\n"
+    )
+    assert any(
+        "repro.api.open_stream" in violation.message
+        for violation in violations
+    )
+
+
 # -- REP004: pipeline entry points open spans -----------------------------
 
 SPANLESS_ENTRY = (

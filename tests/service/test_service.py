@@ -1,0 +1,284 @@
+"""ClusterService: writer loop, windowing, tailing, HTTP, shutdown."""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import ClusterService, ClusterSnapshot
+from repro.api import build_clusterer
+from repro.corpus.streams import iter_batches
+from repro.durability import Checkpointer, read_journal
+from repro.exceptions import ConfigurationError, ServiceClosedError
+from repro.obs import InMemoryRecorder
+from repro.persistence import document_record
+
+from .conftest import SERVICE_KWARGS, assert_snapshot_parity, reference_snapshot
+
+
+def make_service(**kwargs):
+    recorder = kwargs.pop("recorder", None)
+    clusterer = build_clusterer(recorder=recorder, **SERVICE_KWARGS)
+    return ClusterService(clusterer, **kwargs)
+
+
+class TestIngestion:
+    def test_versions_count_batches(self, stream):
+        _, batches = stream
+        with make_service() as service:
+            assert service.version == 0
+            for at_time, batch in batches:
+                service.add(batch, at_time=at_time)
+            snapshot = service.flush()
+            assert snapshot.version == len(batches)
+            assert service.batches_ingested == len(batches)
+            assert_snapshot_parity(
+                snapshot, reference_snapshot(batches, len(batches))
+            )
+
+    def test_empty_add_is_a_noop(self, stream):
+        with make_service() as service:
+            service.add([], at_time=1.0)
+            assert service.flush().version == 0
+
+    def test_rejected_batch_publishes_nothing(self, stream):
+        _, batches = stream
+        with make_service() as service:
+            service.add(batches[0][1], at_time=5.0)
+            service.flush()
+            # clock cannot go backwards: this batch must be rejected
+            service.add(batches[1][1], at_time=1.0)
+            service.flush()
+            assert service.version == 1
+            assert len(service.errors) == 1
+            # and the service keeps working afterwards
+            service.add(batches[2][1], at_time=6.0)
+            assert service.flush().version == 2
+
+    def test_feed_windows_match_iter_batches(self, stream):
+        _, batches = stream
+        documents = sorted(
+            (doc for _, batch in batches for doc in batch),
+            key=lambda d: d.timestamp,
+        )
+        with make_service(window_days=2.0) as service:
+            for document in documents:
+                service.feed(document)
+            snapshot = service.flush()
+
+        reference = build_clusterer(**SERVICE_KWARGS)
+        expected_batches = list(iter_batches(documents, 2.0))
+        for at_time, batch in expected_batches:
+            reference.process_batch(list(batch), at_time=at_time)
+        assert snapshot.version == len(expected_batches)
+        assert_snapshot_parity(
+            snapshot,
+            ClusterSnapshot.from_clusterer(
+                len(expected_batches), reference
+            ),
+        )
+
+    def test_feed_requires_window_days(self, stream):
+        _, batches = stream
+        with make_service() as service:
+            with pytest.raises(ConfigurationError, match="window_days"):
+                service.feed(batches[0][1][0])
+
+
+class TestDurabilityWiring:
+    def test_snapshot_version_equals_journal_sequence(self, stream, tmp_path):
+        vocabulary, batches = stream
+        clusterer = build_clusterer(**SERVICE_KWARGS)
+        checkpointer = Checkpointer(
+            clusterer, vocabulary, tmp_path / "state.json", every=100
+        )
+        with ClusterService(clusterer, checkpointer=checkpointer) as service:
+            for at_time, batch in batches[:4]:
+                service.add(batch, at_time=at_time)
+            snapshot = service.flush()
+            assert snapshot.version == checkpointer.sequence == 4
+            contents = read_journal(checkpointer.journal_path)
+            assert contents.entries[-1].sequence == snapshot.version
+
+    def test_close_takes_final_checkpoint(self, stream, tmp_path):
+        vocabulary, batches = stream
+        clusterer = build_clusterer(**SERVICE_KWARGS)
+        checkpointer = Checkpointer(
+            clusterer, vocabulary, tmp_path / "state.json", every=100
+        )
+        service = ClusterService(clusterer, checkpointer=checkpointer)
+        service.add(batches[0][1], at_time=batches[0][0])
+        service.close()
+        assert checkpointer.closed
+        state = json.loads((tmp_path / "state.json").read_text())
+        assert state["sequence"] == 1
+
+    def test_kill_skips_final_checkpoint(self, stream, tmp_path):
+        vocabulary, batches = stream
+        clusterer = build_clusterer(**SERVICE_KWARGS)
+        checkpointer = Checkpointer(
+            clusterer, vocabulary, tmp_path / "state.json", every=100
+        )
+        service = ClusterService(clusterer, checkpointer=checkpointer)
+        service.add(batches[0][1], at_time=batches[0][0])
+        service.flush()
+        service.kill()
+        assert checkpointer.closed
+        # the checkpoint still reflects the *initial* state; only the
+        # journal knows about the batch — recovery's job
+        state = json.loads((tmp_path / "state.json").read_text())
+        assert state["sequence"] == 0
+        contents = read_journal(checkpointer.journal_path)
+        assert [entry.sequence for entry in contents.entries] == [1]
+
+
+class TestTailing:
+    def test_tail_jsonl_picks_up_appended_records(self, stream, tmp_path):
+        vocabulary, batches = stream
+        path = tmp_path / "incoming.jsonl"
+        clusterer = build_clusterer(**SERVICE_KWARGS)
+        service = ClusterService(
+            clusterer, vocabulary=vocabulary, window_days=1.0
+        )
+        try:
+            service.tail_jsonl(path, poll_interval=0.02)
+            with open(path, "a", encoding="utf-8") as handle:
+                for _, batch in batches[:3]:
+                    for doc in batch:
+                        record = document_record(doc, vocabulary)
+                        handle.write(json.dumps(record) + "\n")
+                    handle.flush()
+            deadline = 200
+            while service.version < 2 and deadline:
+                time.sleep(0.02)
+                deadline -= 1
+            snapshot = service.flush()
+            # days 0,1,2 fed through 1-day windows: days 0 and 1 have
+            # closed (a later document arrived); day 2 sits in the
+            # partial window until flush submits it
+            assert snapshot.version == 3
+            assert not service.errors
+        finally:
+            service.close()
+
+    def test_tail_requires_vocabulary(self, tmp_path):
+        with make_service(window_days=1.0) as service:
+            with pytest.raises(ConfigurationError, match="vocabulary"):
+                service.tail_jsonl(tmp_path / "x.jsonl")
+
+
+class TestHTTP:
+    def test_endpoints(self, stream):
+        vocabulary, batches = stream
+        clusterer = build_clusterer(**SERVICE_KWARGS)
+        with ClusterService(clusterer, vocabulary=vocabulary) as service:
+            for at_time, batch in batches[:2]:
+                service.add(batch, at_time=at_time)
+            service.flush()
+            server = service.serve_http(port=0)
+
+            def get(path):
+                with urllib.request.urlopen(server.url + path) as response:
+                    return json.loads(response.read())
+
+            def post(path, payload):
+                request = urllib.request.Request(
+                    server.url + path,
+                    data=json.dumps(payload).encode(),
+                    headers={"Content-Type": "application/json"},
+                )
+                with urllib.request.urlopen(request) as response:
+                    return json.loads(response.read())
+
+            stats = get("/stats")
+            assert stats["version"] == 2
+            assert stats["active_documents"] > 0
+
+            top = get("/top?n=2")
+            assert top["version"] == 2
+            assert len(top["clusters"]) <= 2
+
+            cluster_id = top["clusters"][0]["cluster_id"]
+            members = get(f"/members?cluster={cluster_id}")
+            assert members["members"]
+
+            doc = batches[0][1][0]
+            answer = post(
+                "/assign",
+                {"terms": {str(t): c for t, c in doc.term_counts.items()}},
+            )
+            assert answer["version"] == 2
+            assert answer["cluster_id"] is not None
+
+            queued = post("/add", {
+                "documents": [
+                    document_record(d, vocabulary) for d in batches[2][1]
+                ],
+                "at_time": batches[2][0],
+            })
+            assert queued == {"queued": len(batches[2][1])}
+            assert service.flush().version == 3
+
+    def test_unknown_path_is_404(self, stream):
+        with make_service() as service:
+            server = service.serve_http(port=0)
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(server.url + "/nope")
+            assert excinfo.value.code == 404
+
+
+class TestShutdown:
+    def test_close_is_idempotent(self, stream):
+        service = make_service()
+        service.close()
+        service.close()
+        assert service.closed
+
+    def test_ingestion_after_close_raises(self, stream):
+        _, batches = stream
+        service = make_service()
+        service.close()
+        with pytest.raises(ServiceClosedError):
+            service.add(batches[0][1], at_time=1.0)
+        with pytest.raises(ServiceClosedError):
+            service.flush()
+
+    def test_reads_survive_close(self, stream):
+        _, batches = stream
+        service = make_service()
+        service.add(batches[0][1], at_time=batches[0][0])
+        service.flush()
+        service.close()
+        assert service.snapshot().version == 1
+        assert service.stats().version == 1
+        assert service.top_clusters()
+
+    def test_close_flushes_partial_feed_window(self, stream):
+        _, batches = stream
+        service = make_service(window_days=5.0)
+        for doc in batches[0][1]:
+            service.feed(doc)
+        service.close()
+        # the partial window was submitted and committed during close
+        assert service.version == 1
+
+
+class TestObservability:
+    def test_gauges_and_counters_emitted(self, stream):
+        _, batches = stream
+        recorder = InMemoryRecorder()
+        with make_service(recorder=recorder) as service:
+            service.add(batches[0][1], at_time=batches[0][0])
+            service.flush()
+            service.stats()
+        names = recorder.names()
+        assert "service.ingest" in names           # span
+        assert "service.snapshot_build" in names   # span
+        assert "service.ingest_lag_seconds" in names
+        assert "service.snapshot_age_seconds" in names
+        assert "service.reader_queries" in names
+        assert recorder.total("service.snapshots_published") == 1

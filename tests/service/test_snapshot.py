@@ -1,0 +1,216 @@
+"""ClusterSnapshot: immutability, correctness of the precomputed view."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+import pytest
+
+from repro import ClusterSnapshot, Document
+from repro.api import build_clusterer
+from repro.core.engines.base import affine_gain_coefficients
+from repro.exceptions import ConfigurationError
+
+from .conftest import SERVICE_KWARGS, assert_snapshot_parity, probe_like
+
+
+def run_clusterer(batches, upto=None):
+    clusterer = build_clusterer(**SERVICE_KWARGS)
+    for at_time, batch in batches[:upto]:
+        clusterer.process_batch(list(batch), at_time=at_time)
+    return clusterer
+
+
+class TestConstruction:
+    def test_reflects_clusterer_state(self, stream):
+        _, batches = stream
+        clusterer = run_clusterer(batches)
+        snapshot = ClusterSnapshot.from_clusterer(7, clusterer)
+        assert snapshot.version == 7
+        assert snapshot.at_time == clusterer.statistics.now
+        assert snapshot.k == clusterer.kmeans.k
+        result = clusterer.last_result
+        assert snapshot.clustering_index == result.clustering_index
+        assert snapshot.clusters == tuple(
+            tuple(sorted(members)) for members in result.clusters
+        )
+        assert set(snapshot.outliers) == set(result.outliers)
+        assert snapshot.frozen.size == clusterer.statistics.size
+        sizes = [len(members) for members in snapshot.clusters]
+        np.testing.assert_array_equal(snapshot.sizes, sizes)
+
+    def test_gain_coefficients_match_engine_formula(self, stream):
+        _, batches = stream
+        snapshot = ClusterSnapshot.from_clusterer(
+            1, run_clusterer(batches)
+        )
+        for p in range(snapshot.k):
+            a, b = affine_gain_coefficients(
+                snapshot.criterion,
+                int(snapshot.sizes[p]),
+                float(snapshot.crpp[p]),
+                float(snapshot.ss[p]),
+            )
+            assert snapshot.gain_a[p] == a
+            assert snapshot.gain_b[p] == b
+
+    def test_never_fed_clusterer_snapshots_empty(self):
+        snapshot = ClusterSnapshot.from_clusterer(
+            0, build_clusterer(**SERVICE_KWARGS)
+        )
+        assert snapshot.version == 0
+        assert snapshot.at_time is None
+        assert snapshot.term_ids.size == 0
+        assert snapshot.clusters == ((), (), ())
+        assert snapshot.top_clusters() == []
+        assert snapshot.assign({1: 2}).is_outlier
+
+    def test_parity_against_reference_builder(self, stream):
+        _, batches = stream
+        clusterer = run_clusterer(batches, upto=4)
+        observed = ClusterSnapshot.from_clusterer(4, clusterer)
+        from .conftest import reference_snapshot
+
+        assert_snapshot_parity(observed, reference_snapshot(batches, 4))
+
+
+class TestImmutability:
+    def test_arrays_are_read_only(self, stream):
+        _, batches = stream
+        snapshot = ClusterSnapshot.from_clusterer(
+            1, run_clusterer(batches)
+        )
+        for array in (
+            snapshot.term_ids, snapshot.idf, snapshot.representatives,
+            snapshot.sizes, snapshot.crpp, snapshot.ss,
+            snapshot.gain_a, snapshot.gain_b,
+            snapshot.frozen.term_ids, snapshot.frozen.term_masses,
+        ):
+            with pytest.raises(ValueError):
+                array[..., 0] = 1
+
+    def test_dataclass_is_frozen(self, stream):
+        _, batches = stream
+        snapshot = ClusterSnapshot.from_clusterer(
+            1, run_clusterer(batches)
+        )
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            snapshot.version = 99
+
+    def test_snapshot_detached_from_live_statistics(self, stream):
+        _, batches = stream
+        clusterer = run_clusterer(batches, upto=3)
+        snapshot = ClusterSnapshot.from_clusterer(3, clusterer)
+        before = (
+            snapshot.frozen.tdw,
+            snapshot.clusters,
+            snapshot.clustering_index,
+        )
+        at_time, batch = batches[3]
+        clusterer.process_batch(list(batch), at_time=at_time)
+        assert (
+            snapshot.frozen.tdw,
+            snapshot.clusters,
+            snapshot.clustering_index,
+        ) == before
+
+
+class TestAssign:
+    def test_topic_probe_lands_in_its_topic_cluster(self, stream):
+        _, batches = stream
+        clusterer = run_clusterer(batches)
+        snapshot = ClusterSnapshot.from_clusterer(1, clusterer)
+        # probe with the exact terms of an active document: must land in
+        # that document's cluster
+        some_doc = batches[-1][1][0]
+        answer = snapshot.assign(probe_like(some_doc))
+        assert not answer.is_outlier
+        assert answer.gain > 0.0
+        assert some_doc.doc_id in snapshot.members(answer.cluster_id)
+        assert answer.version == snapshot.version
+
+    def test_mapping_and_document_queries_agree(self, stream):
+        _, batches = stream
+        snapshot = ClusterSnapshot.from_clusterer(
+            1, run_clusterer(batches)
+        )
+        doc = probe_like(batches[-1][1][1])
+        via_doc = snapshot.assign(doc)
+        via_map = snapshot.assign(dict(doc.term_counts))
+        assert via_doc.cluster_id == via_map.cluster_id
+        assert math.isclose(via_doc.gain, via_map.gain, rel_tol=1e-12)
+
+    def test_unknown_terms_only_is_outlier(self, stream):
+        _, batches = stream
+        snapshot = ClusterSnapshot.from_clusterer(
+            1, run_clusterer(batches)
+        )
+        unseen = int(snapshot.term_ids.max()) + 1000
+        answer = snapshot.assign({unseen: 3})
+        assert answer.is_outlier
+        assert answer.cluster_id is None
+
+    def test_empty_query_is_outlier(self, stream):
+        _, batches = stream
+        snapshot = ClusterSnapshot.from_clusterer(
+            1, run_clusterer(batches)
+        )
+        assert snapshot.assign({}).is_outlier
+        assert snapshot.assign(
+            Document(doc_id="e", timestamp=9.0, term_counts={})
+        ).is_outlier
+
+    def test_text_query_without_front_end_raises(self, stream):
+        _, batches = stream
+        snapshot = ClusterSnapshot.from_clusterer(
+            1, run_clusterer(batches)
+        )
+        with pytest.raises(ConfigurationError, match="text front-end"):
+            snapshot.assign("sports teams playing games")
+
+
+class TestReads:
+    def test_top_clusters_sorted_by_size(self, stream):
+        _, batches = stream
+        snapshot = ClusterSnapshot.from_clusterer(
+            1, run_clusterer(batches)
+        )
+        infos = snapshot.top_clusters(10)
+        assert infos, "expected non-empty clusters"
+        sizes = [info.size for info in infos]
+        assert sizes == sorted(sizes, reverse=True)
+        for info in infos:
+            assert info.size == len(snapshot.members(info.cluster_id))
+
+    def test_top_clusters_respects_n(self, stream):
+        _, batches = stream
+        snapshot = ClusterSnapshot.from_clusterer(
+            1, run_clusterer(batches)
+        )
+        assert len(snapshot.top_clusters(1)) == 1
+
+    def test_members_bounds_checked(self, stream):
+        _, batches = stream
+        snapshot = ClusterSnapshot.from_clusterer(
+            1, run_clusterer(batches)
+        )
+        with pytest.raises(ConfigurationError, match="outside"):
+            snapshot.members(99)
+        with pytest.raises(ConfigurationError, match="outside"):
+            snapshot.members(-1)
+
+    def test_stats_summary(self, stream):
+        _, batches = stream
+        clusterer = run_clusterer(batches)
+        snapshot = ClusterSnapshot.from_clusterer(6, clusterer)
+        stats = snapshot.stats()
+        assert stats.version == 6
+        assert stats.active_documents == clusterer.statistics.size
+        assert stats.k == 3
+        assert stats.non_empty_clusters == sum(
+            1 for members in snapshot.clusters if members
+        )
+        assert stats.terms == snapshot.term_ids.size
+        assert stats.clustering_index == snapshot.clustering_index

@@ -204,6 +204,16 @@ _REGISTRY_HOME_PACKAGES: Tuple[str, ...] = (
     "repro/forgetting/backends",
 )
 
+#: Pipeline classes applications must build through repro.api
+#: (open_stream()/build_clusterer()) instead of constructing directly.
+#: The library itself (anything under repro/) is the home package.
+_PIPELINE_CLASSES: Tuple[str, ...] = (
+    "IncrementalClusterer",
+    "NonIncrementalClusterer",
+)
+
+_PIPELINE_HOME_PACKAGE = "repro"
+
 
 class RegistryOnlyRule(Rule):
     code = "REP003"
@@ -216,16 +226,22 @@ class RegistryOnlyRule(Rule):
         "are type-checked. A direct `DenseEngine(...)` call outside "
         "repro.core.engines / repro.forgetting.backends bypasses "
         "resolve_engine()/resolve_backend() name validation and "
-        "freezes the call site to one implementation. Tests and "
-        "benchmarks are exempt — parity suites construct concrete "
-        "classes on purpose."
+        "freezes the call site to one implementation. The same logic "
+        "covers the pipelines themselves: direct "
+        "IncrementalClusterer(...) construction outside the library "
+        "bypasses repro.api (open_stream()/build_clusterer()), the "
+        "documented entry point that wires configuration, durability "
+        "and the service layer consistently. Tests and benchmarks are "
+        "exempt — parity suites construct concrete classes on purpose."
     )
 
     def check(self, context: FileContext) -> Iterator[Violation]:
         if context.is_test_code:
             return
-        if any(context.in_path(pkg) for pkg in _REGISTRY_HOME_PACKAGES):
-            return
+        in_registry_home = any(
+            context.in_path(pkg) for pkg in _REGISTRY_HOME_PACKAGES
+        )
+        in_library = context.in_path(_PIPELINE_HOME_PACKAGE)
         for node in ast.walk(context.tree):
             if not isinstance(node, ast.Call):
                 continue
@@ -236,7 +252,7 @@ class RegistryOnlyRule(Rule):
                 called = func.id
             else:
                 continue
-            if called in _REGISTERED_CLASSES:
+            if called in _REGISTERED_CLASSES and not in_registry_home:
                 kind = (
                     "resolve_backend" if "Backend" in called
                     else "resolve_engine"
@@ -245,6 +261,14 @@ class RegistryOnlyRule(Rule):
                     context, node,
                     f"direct instantiation of {called}; obtain it via "
                     f"{kind}() so the registry contract stays checked",
+                )
+            elif called in _PIPELINE_CLASSES and not in_library:
+                yield self.violation(
+                    context, node,
+                    f"direct construction of {called} outside the "
+                    f"library; use repro.api.open_stream() (or "
+                    f"build_clusterer()) so configuration, durability "
+                    f"and the service layer stay wired consistently",
                 )
 
 
@@ -266,6 +290,8 @@ _SPAN_ENTRY_POINTS: Tuple[Tuple[str, str], ...] = (
     ("repro/persistence.py", "save_checkpoint"),
     ("repro/persistence.py", "load_checkpoint"),
     ("repro/durability/recovery.py", "recover"),
+    ("repro/service/service.py", "ClusterService._ingest"),
+    ("repro/service/snapshot.py", "ClusterSnapshot.from_clusterer"),
 )
 
 
