@@ -35,6 +35,7 @@ from .exceptions import (
     NotFittedError,
     ReproError,
     ServiceClosedError,
+    ServiceDegradedError,
     UnknownDocumentError,
     VocabularyFrozenError,
 )
@@ -130,6 +131,7 @@ __all__ = [
     "NotFittedError",
     "VocabularyFrozenError",
     "ServiceClosedError",
+    "ServiceDegradedError",
     # text
     "Tokenizer",
     "PorterStemmer",

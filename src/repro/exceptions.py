@@ -55,3 +55,14 @@ class VocabularyFrozenError(ReproError, RuntimeError):
 
 class ServiceClosedError(ReproError, RuntimeError):
     """Work was submitted to a streaming service that has shut down."""
+
+
+class ServiceDegradedError(ServiceClosedError):
+    """A durability hook failed after its batch committed in memory.
+
+    The in-memory state and the journal have diverged, so the service
+    stops ingesting (reads keep answering from the last published
+    snapshot, which is still journal-consistent). Subclasses
+    :class:`ServiceClosedError` so producers treating the service as
+    unavailable keep working unchanged.
+    """

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -41,6 +42,7 @@ from typing import (
     Any,
     Iterable,
     List,
+    Mapping,
     Optional,
     Sequence,
     Tuple,
@@ -48,7 +50,11 @@ from typing import (
 )
 
 from ..corpus.document import Document
-from ..exceptions import ConfigurationError, ServiceClosedError
+from ..exceptions import (
+    ConfigurationError,
+    ServiceClosedError,
+    ServiceDegradedError,
+)
 from ..obs import Span
 from .snapshot import (
     ClusterInfo,
@@ -140,15 +146,21 @@ class ClusterService:
         self._window: List[Document] = []
         self._window_end: Optional[float] = None
 
+        # Vocabulary.add is check-then-act; every producer-side intern
+        # (HTTP handler threads, the tailer) serializes on this lock so
+        # two concurrent producers can never hand out one term_id twice
+        self._intern_lock = threading.Lock()
+
         self._close_lock = threading.Lock()
         self._closed = False
         self._killed = False
+        self._degraded = False
         self._tail_stop = threading.Event()
         self._tail_thread: Optional[threading.Thread] = None
         self._http_server: Optional["ServiceHTTPServer"] = None
 
         if checkpointer is not None:
-            clusterer.add_commit_hook(checkpointer.record_batch)
+            clusterer.add_commit_hook(self._record_batch)
         clusterer.add_commit_hook(self._publish)
 
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -187,8 +199,8 @@ class ClusterService:
                 try:
                     if item is _STOP:
                         break
-                    if self._killed:
-                        continue  # crash simulation: drop queued work
+                    if self._killed or self._degraded:
+                        continue  # crashed/degraded: drop queued work
                     documents, at_time, enqueued = item
                     if self._recorder.enabled:
                         self._recorder.gauge(
@@ -203,11 +215,23 @@ class ClusterService:
                             executor, self._ingest, documents, at_time
                         )
                     except Exception as exc:
-                        # the clusterer rolled the batch back; no
-                        # snapshot was (or will be) published for it
                         self._errors.append(exc)
-                        if self._recorder.enabled:
-                            self._recorder.counter("service.batches_rejected")
+                        if self._degraded:
+                            # the batch committed in memory but the
+                            # durability hook failed before publish:
+                            # memory and journal have diverged, so no
+                            # later snapshot may claim a journal
+                            # sequence — ingestion stops here and
+                            # producers get ServiceDegradedError
+                            if self._recorder.enabled:
+                                self._recorder.counter("service.degraded")
+                        else:
+                            # the clusterer rolled the batch back; no
+                            # snapshot was (or will be) published for it
+                            if self._recorder.enabled:
+                                self._recorder.counter(
+                                    "service.batches_rejected"
+                                )
                 finally:
                     self._queue.task_done()
         finally:
@@ -220,6 +244,25 @@ class ClusterService:
                   {"batch_size": len(documents)}):
             self._clusterer.process_batch(list(documents), at_time=at_time)
         self._batches_ingested += 1
+
+    def _record_batch(
+        self, documents: List[Document], at_time: float
+    ) -> None:
+        """Commit hook: journal the batch via the checkpointer.
+
+        A failure here is NOT a rollback — per ``add_commit_hook`` the
+        batch stays committed in memory while the journal misses it.
+        Flag the divergence before re-raising so the writer stops
+        ingesting instead of filing the batch as rejected (the publish
+        hook never runs, so readers keep seeing the last snapshot that
+        still matches the journal).
+        """
+        assert self._checkpointer is not None
+        try:
+            self._checkpointer.record_batch(documents, at_time)
+        except BaseException:
+            self._degraded = True
+            raise
 
     def _publish(self, documents: List[Document], at_time: float) -> None:
         """Commit hook: build and atomically install the next snapshot.
@@ -287,8 +330,24 @@ class ClusterService:
         with self._feed_lock:
             if self._window_end is None:
                 self._window_end = document.timestamp + self._window_days
-            while document.timestamp >= self._window_end:
+            elif document.timestamp >= self._window_end:
                 self._submit_window_locked()
+                if document.timestamp >= self._window_end:
+                    # jump the empty gap in one step: stepping a window
+                    # at a time would iterate billions of times for a
+                    # far-future timestamp — and never terminate once
+                    # `+= window_days` is a float no-op
+                    steps = (
+                        (document.timestamp - self._window_end)
+                        // self._window_days
+                    ) + 1.0
+                    self._window_end += steps * self._window_days
+                    if self._window_end <= document.timestamp:
+                        # float saturation: re-anchor off the grid
+                        # rather than loop forever
+                        self._window_end = (
+                            document.timestamp + self._window_days
+                        )
             self._window.append(document)
 
     def _submit_window_locked(self) -> None:
@@ -353,14 +412,32 @@ class ClusterService:
         )
         self._tail_thread.start()
 
-    def _tail_loop(self, path: Path, poll_interval: float) -> None:
+    def _intern_record(self, record: Mapping[str, Any]) -> Document:
+        """Rebuild a loader record, interning terms under the intern lock.
+
+        Every producer-side intern path (the tailer thread, the HTTP
+        ``/add`` handler threads) must come through here:
+        ``Vocabulary.add`` is an unsynchronized check-then-act, and two
+        racing producers could otherwise assign the same term_id to
+        different terms.
+        """
         from ..persistence import record_to_document
 
+        assert self._vocabulary is not None
+        with self._intern_lock:
+            return record_to_document(record, self._vocabulary)
+
+    def _tail_loop(self, path: Path, poll_interval: float) -> None:
         offset = 0
         pending = ""
         while not self._tail_stop.is_set():
             try:
                 with open(path, "r", encoding="utf-8") as handle:
+                    if os.fstat(handle.fileno()).st_size < offset:
+                        # truncated or rotated in place: seeking past
+                        # EOF would just read '' forever, so start over
+                        offset = 0
+                        pending = ""
                     handle.seek(offset)
                     chunk = handle.read()
                     offset = handle.tell()
@@ -375,10 +452,7 @@ class ClusterService:
                         continue
                     try:
                         record = json.loads(line)
-                        assert self._vocabulary is not None
-                        document = record_to_document(
-                            record, self._vocabulary
-                        )
+                        document = self._intern_record(record)
                         self.feed(document)
                     except ServiceClosedError:
                         return
@@ -457,8 +531,25 @@ class ClusterService:
 
     @property
     def errors(self) -> Tuple[BaseException, ...]:
-        """Exceptions from rejected batches (each batch rolled back)."""
+        """Exceptions from rejected batches and producer threads.
+
+        Each rejected batch rolled back — unless :attr:`degraded` is
+        set, in which case the last error is the durability-hook
+        failure that stopped ingestion.
+        """
         return tuple(self._errors)
+
+    @property
+    def degraded(self) -> bool:
+        """True once a durability hook failed after its batch committed.
+
+        Memory and journal have diverged: ingestion is stopped (raises
+        :class:`~repro.exceptions.ServiceDegradedError`), reads keep
+        answering from the last snapshot that matches the journal, and
+        :meth:`close` aborts instead of writing a final checkpoint so
+        recovery replays the journal-consistent prefix.
+        """
+        return self._degraded
 
     @property
     def batches_ingested(self) -> int:
@@ -475,6 +566,12 @@ class ClusterService:
         return self._closed
 
     def _require_open(self) -> None:
+        if self._degraded:
+            raise ServiceDegradedError(
+                "service is degraded: a durability hook failed after "
+                "its batch committed (see .errors); ingestion is "
+                "stopped to keep snapshots journal-consistent"
+            )
         if self._closed:
             raise ServiceClosedError("service is closed")
 
@@ -497,7 +594,13 @@ class ClusterService:
         self._drain()
         self._stop_writer()
         if self._checkpointer is not None:
-            self._checkpointer.close()
+            if self._degraded:
+                # a final checkpoint would capture in-memory state the
+                # journal never saw; leave the on-disk prefix intact
+                # for recover() instead
+                self._checkpointer.abort()
+            else:
+                self._checkpointer.close()
 
     def kill(self) -> None:
         """Simulate a crash: stop *without* draining or checkpointing.

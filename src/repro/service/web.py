@@ -177,6 +177,12 @@ def _make_handler(service: "ClusterService") -> type:
                     self._error(404, f"unknown path {parsed.path!r}")
             except (ReproError, ValueError) as exc:
                 self._error(400, str(exc))
+            except KeyError as exc:
+                # a record missing 'doc_id'/'terms'/'timestamp' is a
+                # client error, not a server traceback
+                self._error(400, f"missing field {exc.args[0]!r}")
+            except (TypeError, AttributeError) as exc:
+                self._error(400, f"malformed request: {exc}")
 
         def _assign(
             self, payload: Dict[str, Any]
@@ -200,10 +206,7 @@ def _make_handler(service: "ClusterService") -> type:
             }
 
         def _add(self, payload: Dict[str, Any]) -> Optional[int]:
-            from ..persistence import record_to_document
-
-            vocabulary = service._vocabulary
-            if vocabulary is None:
+            if service.vocabulary is None:
                 self._error(400, "service has no vocabulary; POST /add "
                                  "is unavailable")
                 return None
@@ -214,8 +217,10 @@ def _make_handler(service: "ClusterService") -> type:
             if "at_time" not in payload:
                 self._error(400, "missing 'at_time'")
                 return None
+            # _intern_record serializes Vocabulary.add across the
+            # ThreadingHTTPServer handler threads and the tailer
             documents = [
-                record_to_document(record, vocabulary) for record in records
+                service._intern_record(record) for record in records
             ]
             service.add(documents, at_time=float(payload["at_time"]))
             return len(documents)

@@ -3,17 +3,23 @@
 from __future__ import annotations
 
 import json
+import threading
 import time
 import urllib.error
 import urllib.request
+from concurrent.futures import ThreadPoolExecutor
 
 import pytest
 
-from repro import ClusterService, ClusterSnapshot
+from repro import ClusterService, ClusterSnapshot, Document
 from repro.api import build_clusterer
 from repro.corpus.streams import iter_batches
 from repro.durability import Checkpointer, read_journal
-from repro.exceptions import ConfigurationError, ServiceClosedError
+from repro.exceptions import (
+    ConfigurationError,
+    ServiceClosedError,
+    ServiceDegradedError,
+)
 from repro.obs import InMemoryRecorder
 from repro.persistence import document_record
 
@@ -88,6 +94,46 @@ class TestIngestion:
             with pytest.raises(ConfigurationError, match="window_days"):
                 service.feed(batches[0][1][0])
 
+    def test_feed_jumps_far_future_gap(self, stream):
+        # a single epoch-milliseconds-style timestamp used to advance
+        # the window one step per iteration — billions of iterations;
+        # the jump must land in one arithmetic step
+        _, batches = stream
+        with make_service(window_days=2.0) as service:
+            for doc in batches[0][1]:
+                service.feed(doc)
+            far = Document(
+                doc_id="far-future",
+                timestamp=4.0e9,
+                term_counts=dict(batches[0][1][0].term_counts),
+            )
+            start = time.monotonic()
+            service.feed(far)
+            assert time.monotonic() - start < 5.0
+            snapshot = service.flush()
+            # the day-0 window committed; the far-future singleton is
+            # submitted by flush and rejected (everything expired,
+            # 1 doc < k) — but nothing hangs and the service still works
+            assert snapshot.version == 1
+            assert len(service.errors) == 1
+
+    def test_feed_terminates_when_advance_is_a_float_noop(self, stream):
+        # window_end large enough that `+= window_days` rounds to a
+        # no-op: the old stepping loop never terminated
+        _, batches = stream
+        with make_service(window_days=1.0) as service:
+            doc = batches[0][1][0]
+            service.feed(doc)
+            huge = Document(
+                doc_id="huge",
+                timestamp=1.0e17,  # 1e17 + 1.0 == 1e17 in float64
+                term_counts=dict(doc.term_counts),
+            )
+            start = time.monotonic()
+            service.feed(huge)
+            assert time.monotonic() - start < 5.0
+            service.close()
+
 
 class TestDurabilityWiring:
     def test_snapshot_version_equals_journal_sequence(self, stream, tmp_path):
@@ -116,6 +162,47 @@ class TestDurabilityWiring:
         assert checkpointer.closed
         state = json.loads((tmp_path / "state.json").read_text())
         assert state["sequence"] == 1
+
+    def test_journal_failure_degrades_service(self, stream, tmp_path):
+        # a commit-hook failure is NOT a rollback: the batch committed
+        # in memory but was never journaled. The service must stop
+        # ingesting (not file it as rejected) so no later snapshot
+        # claims a journal sequence the journal does not hold.
+        vocabulary, batches = stream
+        clusterer = build_clusterer(**SERVICE_KWARGS)
+        checkpointer = Checkpointer(
+            clusterer, vocabulary, tmp_path / "state.json", every=100
+        )
+        service = ClusterService(clusterer, checkpointer=checkpointer)
+        service.add(batches[0][1], at_time=batches[0][0])
+        service.flush()
+        assert service.version == 1
+
+        def broken_record_batch(documents, at_time):
+            raise OSError("journal disk gone")
+
+        checkpointer.record_batch = broken_record_batch
+        service.add(batches[1][1], at_time=batches[1][0])
+        deadline = 200
+        while not service.degraded and deadline:
+            time.sleep(0.02)
+            deadline -= 1
+        assert service.degraded
+        # no snapshot was published for the diverged batch
+        assert service.version == 1
+        assert isinstance(service.errors[-1], OSError)
+        with pytest.raises(ServiceDegradedError):
+            service.add(batches[2][1], at_time=batches[2][0])
+        with pytest.raises(ServiceClosedError):  # subclass relation
+            service.flush()
+        service.close()
+        # close() aborted instead of checkpointing: the on-disk state
+        # is the journal-consistent prefix recover() expects
+        assert checkpointer.closed
+        state = json.loads((tmp_path / "state.json").read_text())
+        assert state["sequence"] == 0
+        contents = read_journal(checkpointer.journal_path)
+        assert [entry.sequence for entry in contents.entries] == [1]
 
     def test_kill_skips_final_checkpoint(self, stream, tmp_path):
         vocabulary, batches = stream
@@ -169,6 +256,44 @@ class TestTailing:
         with make_service(window_days=1.0) as service:
             with pytest.raises(ConfigurationError, match="vocabulary"):
                 service.tail_jsonl(tmp_path / "x.jsonl")
+
+    def test_tail_jsonl_recovers_from_truncation(self, stream, tmp_path):
+        # an in-place truncation/rotation leaves the offset past EOF;
+        # read() then returns '' forever without an OSError — the
+        # tailer must notice the shrinkage and start over
+        vocabulary, batches = stream
+        path = tmp_path / "incoming.jsonl"
+        clusterer = build_clusterer(**SERVICE_KWARGS)
+        service = ClusterService(
+            clusterer, vocabulary=vocabulary, window_days=1.0
+        )
+        try:
+            service.tail_jsonl(path, poll_interval=0.02)
+            with open(path, "a", encoding="utf-8") as handle:
+                for _, batch in batches[:3]:
+                    for doc in batch:
+                        record = document_record(doc, vocabulary)
+                        handle.write(json.dumps(record) + "\n")
+                    handle.flush()
+            deadline = 200
+            while service.version < 2 and deadline:
+                time.sleep(0.02)
+                deadline -= 1
+            assert service.version >= 2
+            # rotate in place: the new file is shorter than the offset.
+            # A day-5 record is past every window the day 0-2 feed left
+            # open (the grid anchors at the first doc's timestamp), so
+            # picking it up must close the pending window
+            day5 = document_record(batches[5][1][0], vocabulary)
+            path.write_text(json.dumps(day5) + "\n", encoding="utf-8")
+            deadline = 200
+            while service.version < 3 and deadline:
+                time.sleep(0.02)
+                deadline -= 1
+            assert service.version >= 3
+            assert not service.errors
+        finally:
+            service.close()
 
 
 class TestHTTP:
@@ -229,6 +354,95 @@ class TestHTTP:
             with pytest.raises(urllib.error.HTTPError) as excinfo:
                 urllib.request.urlopen(server.url + "/nope")
             assert excinfo.value.code == 404
+
+    def test_malformed_post_bodies_are_400(self, stream):
+        # records missing required fields (KeyError) or with a
+        # non-mapping 'terms' (AttributeError/TypeError) are client
+        # errors, not 500s with a server traceback
+        vocabulary, batches = stream
+        clusterer = build_clusterer(**SERVICE_KWARGS)
+        with ClusterService(clusterer, vocabulary=vocabulary) as service:
+            server = service.serve_http(port=0)
+
+            def post_error(path, payload):
+                request = urllib.request.Request(
+                    server.url + path,
+                    data=json.dumps(payload).encode(),
+                    headers={"Content-Type": "application/json"},
+                )
+                with pytest.raises(urllib.error.HTTPError) as excinfo:
+                    urllib.request.urlopen(request)
+                return excinfo.value
+
+            error = post_error("/add", {
+                "documents": [{"timestamp": 1.0, "terms": {"a": 1}}],
+                "at_time": 1.0,
+            })
+            assert error.code == 400
+            assert "doc_id" in json.loads(error.read())["error"]
+
+            error = post_error("/add", {
+                "documents": [{"doc_id": "d", "timestamp": 1.0}],
+                "at_time": 1.0,
+            })
+            assert error.code == 400
+
+            error = post_error("/add", {
+                "documents": [
+                    {"doc_id": "d", "timestamp": 1.0, "terms": ["a"]}
+                ],
+                "at_time": 1.0,
+            })
+            assert error.code == 400
+
+            error = post_error("/assign", {"terms": ["not", "a", "dict"]})
+            assert error.code == 400
+
+
+class TestInterning:
+    def test_concurrent_interning_stays_bijective(self, stream):
+        # Vocabulary.add is check-then-act; _intern_record is the
+        # choke point every producer thread (HTTP handlers, the
+        # tailer) must go through so one term_id is never handed to
+        # two different terms
+        vocabulary, _ = stream
+        clusterer = build_clusterer(**SERVICE_KWARGS)
+        with ClusterService(clusterer, vocabulary=vocabulary) as service:
+            threads = 8
+            barrier = threading.Barrier(threads)
+
+            def intern(worker: int):
+                barrier.wait()  # maximize contention on the same terms
+                documents = []
+                for i in range(200):
+                    record = {
+                        "doc_id": f"w{worker}-d{i}",
+                        "timestamp": 1.0,
+                        # every worker races over the same new terms
+                        "terms": {f"shared-{i}": 1, f"also-{i}": 2},
+                    }
+                    documents.append((record, service._intern_record(record)))
+                return documents
+
+            with ThreadPoolExecutor(max_workers=threads) as pool:
+                results = [
+                    future.result()
+                    for future in [
+                        pool.submit(intern, w) for w in range(threads)
+                    ]
+                ]
+
+        # the mapping is a bijection: no id was assigned twice
+        ids = [vocabulary.id(term) for term in vocabulary]
+        assert len(ids) == len(set(ids)) == len(vocabulary)
+        # and every interned document got the ids its terms map to now
+        for documents in results:
+            for record, document in documents:
+                expected = {
+                    vocabulary.id(term): count
+                    for term, count in record["terms"].items()
+                }
+                assert document.term_counts == expected
 
 
 class TestShutdown:
